@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper via its
+experiment runner, prints the figure-shaped rows (run with ``-s`` to
+see them), and asserts the paper's *shape* criteria — who wins, by
+roughly what factor — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, runner, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark and print it."""
+    result = benchmark.pedantic(
+        lambda: runner(*args, **kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

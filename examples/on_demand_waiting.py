@@ -1,0 +1,56 @@
+"""On-demand deployment *with waiting* (fig. 5), phase by phase.
+
+Deploys each of the paper's four edge services (Table I) cold — no
+image cached, nothing created — on both a Docker and a Kubernetes
+cluster, and prints the per-phase breakdown the controller recorded:
+Pull, Create, Scale Up, and the port-polling wait, plus the client's
+``time_total`` for the held first request.
+
+Run:  python examples/on_demand_waiting.py
+"""
+
+from repro.services.catalog import PAPER_SERVICES
+from repro.testbed import C3Testbed, TestbedConfig
+
+
+def deploy_cold(cluster_type: str) -> None:
+    print(f"=== {cluster_type} cluster ===")
+    header = (
+        f"{'service':9} {'pull':>8} {'create':>8} {'scale':>8} "
+        f"{'wait':>8} {'client total':>13}"
+    )
+    print(header)
+    for template in PAPER_SERVICES:
+        testbed = C3Testbed(TestbedConfig(cluster_types=(cluster_type,)))
+        service = testbed.register_template(template)
+        result = testbed.run_request(
+            testbed.clients[0], service, template.request
+        )
+        rec = testbed.recorder
+        cluster = cluster_type
+
+        def med(phase: str) -> str:
+            samples = rec.samples(f"{phase}/{cluster}/{template.key}")
+            return f"{samples[0]:7.3f}s" if samples else "      -"
+
+        print(
+            f"{template.title:9} {med('pull')} {med('create')} "
+            f"{med('scale_up')} {med('wait_ready')} "
+            f"{result.time_total:12.3f}s"
+        )
+    print()
+
+
+def main() -> None:
+    print(__doc__)
+    deploy_cold("docker")
+    deploy_cold("k8s")
+    print(
+        "Shape check (paper §VI): with cached images Docker answers in\n"
+        "< 1 s and Kubernetes in ~3 s; cold starts additionally pay the\n"
+        "pull, which dwarfs everything for the large images."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Automatic scale-down of idle services via FlowMemory timeouts (§V).
+
+Memorized flows carry an idle timeout; when the last flow of a service
+expires, the controller scales the instance down ("Our controller may
+automatically scale down idle edge service instances").  The created
+containers remain, so the next request redeploys with a Scale Up only.
+
+Run:  python examples/scale_down_idle.py
+"""
+
+import dataclasses
+
+from repro.services import DEFAULT_CALIBRATION
+from repro.services.catalog import NGINX
+from repro.testbed import C3Testbed, TestbedConfig
+
+
+def main() -> None:
+    print(__doc__)
+    calibration = dataclasses.replace(
+        DEFAULT_CALIBRATION,
+        switch_idle_timeout_s=5.0,
+        memory_idle_timeout_s=20.0,
+    )
+    testbed = C3Testbed(
+        TestbedConfig(cluster_types=("docker",), auto_scale_down=True),
+        calibration=calibration,
+    )
+    service = testbed.register_template(NGINX)
+    testbed.prepare_created(testbed.docker_cluster, service)
+    client = testbed.clients[0]
+
+    result = testbed.run_request(client, service, NGINX.request)
+    print(f"[t={testbed.env.now:7.2f}s] first request: "
+          f"{result.time_total * 1000:.1f} ms — instance running")
+
+    # The client goes quiet.  Switch flow expires first (low timeout),
+    # then the memorized flow, which triggers the scale-down.
+    testbed.env.run(until=testbed.env.now + 30.0)
+    running = testbed.docker_cluster.is_running(service.plan)
+    created = testbed.docker_cluster.is_created(service.plan)
+    print(f"[t={testbed.env.now:7.2f}s] after idling: running={running}, "
+          f"containers kept={created}, "
+          f"scale_downs={testbed.controller.stats['scale_downs']}")
+    assert not running and created
+
+    # The next request redeploys on demand — Scale Up only.
+    result = testbed.run_request(client, service, NGINX.request)
+    print(f"[t={testbed.env.now:7.2f}s] next request:  "
+          f"{result.time_total * 1000:.1f} ms — redeployed on demand")
+
+
+if __name__ == "__main__":
+    main()

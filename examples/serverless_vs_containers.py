@@ -1,0 +1,47 @@
+"""Serverless (wasm) next to containers under one SDN controller.
+
+The paper's future work (§VIII): "enabling the side-by-side operation
+of containers and serverless applications".  Here the EGS hosts a
+Docker cluster *and* a WebAssembly function runtime; the unchanged
+controller deploys to whichever the scheduler picks, and the client
+never notices any of it.
+
+Run:  python examples/serverless_vs_containers.py
+"""
+
+from repro.services.catalog import NGINX, RESNET
+from repro.testbed import C3Testbed, TestbedConfig
+
+
+def first_and_warm(cluster_kind: str, template) -> tuple[float, float]:
+    if cluster_kind == "wasm":
+        testbed = C3Testbed(TestbedConfig(cluster_types=()))
+        cluster = testbed.add_serverless()
+    else:
+        testbed = C3Testbed(TestbedConfig(cluster_types=(cluster_kind,)))
+        cluster = testbed.docker_cluster or testbed.k8s_cluster
+    service = testbed.register_template(template)
+    testbed.prepare_created(cluster, service)
+    first = testbed.run_request(testbed.clients[0], service, template.request)
+    warm = testbed.run_request(testbed.clients[0], service, template.request)
+    return first.time_total, warm.time_total
+
+
+def main() -> None:
+    print(__doc__)
+    print(f"{'service':8} {'runtime':7} {'first request':>14} {'warm request':>13}")
+    for template in (NGINX, RESNET):
+        for runtime in ("docker", "k8s", "wasm"):
+            first, warm = first_and_warm(runtime, template)
+            print(
+                f"{template.title:8} {runtime:7} "
+                f"{first * 1000:12.1f}ms {warm * 1000:11.2f}ms"
+            )
+    print()
+    print("Wasm answers cold requests in milliseconds (no namespaces, no")
+    print("orchestrator), at the price of slower compute — visible on the")
+    print("inference-bound ResNet function, irrelevant for the file server.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Reproduction of *Distributed On-Demand Deployment for Transparent
+Access to 5G Edge Computing Services* (Hammer & Hellwagner, 2023).
+
+The package rebuilds the paper's whole stack in a deterministic
+discrete-event simulation and its SDN controller on top:
+
+* :mod:`repro.sim` — the event kernel everything runs on;
+* :mod:`repro.net` (+ ``repro.net.openflow``) — hosts, links, packets,
+  and the OpenFlow data plane;
+* :mod:`repro.sdnfw` — the Ryu-like controller framework;
+* :mod:`repro.containers`, :mod:`repro.k8s`, :mod:`repro.serverless` —
+  the container / Kubernetes / WebAssembly substrates;
+* :mod:`repro.cluster` — uniform edge-cluster adapters (fig. 4 phases);
+* :mod:`repro.core` — **the paper's contribution**: EdgeController,
+  FlowMemory, Dispatcher, schedulers, annotator, prediction;
+* :mod:`repro.services`, :mod:`repro.workload` — Table I catalog and
+  the bigFlows-like workload;
+* :mod:`repro.testbed` — the simulated C³ evaluation testbed;
+* :mod:`repro.experiments` — one runner per table/figure.
+
+Quickstart::
+
+    from repro.services.catalog import NGINX
+    from repro.testbed import C3Testbed, TestbedConfig
+
+    tb = C3Testbed(TestbedConfig(cluster_types=("docker",)))
+    service = tb.register_template(NGINX)
+    result = tb.run_request(tb.clients[0], service, NGINX.request)
+    print(result.time_total)  # first request: held while deploying
+
+See README.md, DESIGN.md, and EXPERIMENTS.md.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,124 @@
+"""Command-line interface: run experiments and regenerate the docs.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig11 [--fast]
+    python -m repro run all [--fast]
+    python -m repro experiments-md [--fast] [-o EXPERIMENTS.md]
+
+``--fast`` shrinks instance/repetition counts for a quick look; the
+published EXPERIMENTS.md uses the full paper-scale parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from repro.experiments import EXPERIMENTS, ExperimentResult
+
+#: Reduced parameters per experiment for --fast runs.
+_FAST_KWARGS: dict[str, dict[str, _t.Any]] = {
+    "fig11": {"n_instances": 8},
+    "fig12": {"n_instances": 8},
+    "fig13": {"repetitions": 2},
+    "fig14": {"n_instances": 8},
+    "fig15": {"n_instances": 8},
+    "fig16": {"n_requests": 10},
+    "ablation_waiting": {"n_instances": 3},
+    "ablation_hybrid": {"n_instances": 3},
+    "ablation_layer_cache": {"repetitions": 2},
+    "ablation_flow_table": {"n_requests": 5},
+    "ablation_flow_occupancy": {
+        "n_services": 4,
+        "n_clients": 4,
+        "duration_s": 60.0,
+    },
+    "extension_serverless": {"n_instances": 3, "n_warm": 5},
+    "extension_proactive": {"n_visits": 6},
+    "extension_load": {"concurrency_levels": (1, 8), "rounds": 2},
+    "extension_breakdown": {"n_instances": 3},
+    "extension_hierarchy": {},
+}
+
+
+def _run_one(name: str, fast: bool) -> ExperimentResult:
+    runner = EXPERIMENTS[name]
+    kwargs = _FAST_KWARGS.get(name, {}) if fast else {}
+    if fast and name == "trace":
+        from repro.workload import BigFlowsParams
+
+        kwargs = {
+            "params": BigFlowsParams(
+                n_services=10, n_requests=220, duration_s=60.0
+            )
+        }
+    return runner(**kwargs)
+
+
+def cmd_list() -> int:
+    for name, runner in EXPERIMENTS.items():
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:22} {doc}")
+    return 0
+
+
+def cmd_run(names: list[str], fast: bool) -> int:
+    targets = list(EXPERIMENTS) if names == ["all"] else names
+    unknown = [n for n in targets if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in targets:
+        result = _run_one(name, fast)
+        print(result.render())
+        print()
+    return 0
+
+
+def cmd_experiments_md(fast: bool, output: str | None) -> int:
+    from repro.docs import generate_experiments_md
+
+    text = generate_experiments_md(fast=fast, run=_run_one)
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run experiments by name")
+    run_parser.add_argument("names", nargs="+", help="experiment names or 'all'")
+    run_parser.add_argument("--fast", action="store_true", help="reduced sizes")
+
+    md_parser = sub.add_parser(
+        "experiments-md", help="regenerate EXPERIMENTS.md content"
+    )
+    md_parser.add_argument("--fast", action="store_true")
+    md_parser.add_argument("-o", "--output", default=None)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.names, args.fast)
+    if args.command == "experiments-md":
+        return cmd_experiments_md(args.fast, args.output)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Uniform edge-cluster adapters over Docker and Kubernetes.
+
+The paper's controller "is independent of the cluster type": the same
+service definition deploys to a Docker engine or a Kubernetes cluster
+(§V).  An :class:`EdgeCluster` exposes the deployment phases of fig. 4
+— Pull, Create, Scale Up, Scale Down, Remove, Delete — plus the state
+queries the Dispatcher needs, with one implementation per cluster
+type.
+"""
+
+from repro.cluster.plan import DeploymentPlan, PlannedContainer
+from repro.cluster.base import DeployError, EdgeCluster, ServiceEndpoint
+from repro.cluster.docker_cluster import DockerCluster
+from repro.cluster.k8s_cluster import K8sEdgeCluster
+
+__all__ = [
+    "DeployError",
+    "DeploymentPlan",
+    "DockerCluster",
+    "EdgeCluster",
+    "K8sEdgeCluster",
+    "PlannedContainer",
+    "ServiceEndpoint",
+]

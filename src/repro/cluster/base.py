@@ -1,0 +1,147 @@
+"""The abstract edge-cluster interface (deployment phases of fig. 4)."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import typing as _t
+
+from repro.cluster.plan import DeploymentPlan
+from repro.net.addressing import IPv4Address
+from repro.sim import Environment
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.host import Host
+
+
+class DeployError(RuntimeError):
+    """A deployment phase failed (missing image, bad state, timeout)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceEndpoint:
+    """Where a running service instance answers."""
+
+    ip: IPv4Address
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+
+class EdgeCluster(abc.ABC):
+    """One edge cluster the SDN controller can deploy to.
+
+    ``distance`` is the cluster's latency tier as seen from the
+    clients: 0 for the nearest edge, growing toward the cloud.  The
+    Global Scheduler uses it to rank FAST/BEST choices (§IV-A: clusters
+    "in close vicinity of the users tend to be smaller, with cluster
+    size and performance growing when further away").
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        ingress_host: "Host",
+        distance: int = 0,
+        capacity: int | None = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unlimited)")
+        self.env = env
+        self.name = name
+        self.ingress_host = ingress_host
+        self.distance = distance
+        #: Maximum concurrently running service instances (None: ∞).
+        #: Edge clusters near the users "tend to be smaller" (§IV-A).
+        self.capacity = capacity
+
+    # -- deployment phases (generators) -----------------------------------
+
+    @abc.abstractmethod
+    def pull(self, plan: DeploymentPlan):
+        """Pull all images of the plan (skipping cached layers)."""
+
+    @abc.abstractmethod
+    def create(self, plan: DeploymentPlan):
+        """Create the service (containers / Deployment+Service, 0 replicas)."""
+
+    @abc.abstractmethod
+    def scale_up(self, plan: DeploymentPlan):
+        """Start one instance; returns when the orchestrator accepted
+        the operation (NOT when the service is ready — poll with
+        :meth:`wait_ready`)."""
+
+    @abc.abstractmethod
+    def scale_down(self, plan: DeploymentPlan):
+        """Stop the running instance(s), keeping the created service."""
+
+    @abc.abstractmethod
+    def remove(self, plan: DeploymentPlan):
+        """Remove the created service entirely."""
+
+    @abc.abstractmethod
+    def delete_images(self, plan: DeploymentPlan):
+        """Delete the plan's images from the cluster's cache
+        (generator returning bytes freed)."""
+
+    # -- state queries (synchronous; informer-cache semantics) ---------------
+
+    @abc.abstractmethod
+    def image_cached(self, plan: DeploymentPlan) -> bool:
+        """All images of the plan fully present in the local store?"""
+
+    @abc.abstractmethod
+    def is_created(self, plan: DeploymentPlan) -> bool:
+        """Has Create already happened (containers/Deployment exist)?"""
+
+    @abc.abstractmethod
+    def endpoint(self, plan: DeploymentPlan) -> ServiceEndpoint | None:
+        """Where the service will answer once running (None before
+        Create assigned a port)."""
+
+    def is_running(self, plan: DeploymentPlan) -> bool:
+        """Is an instance up and its port answering?"""
+        ep = self.endpoint(plan)
+        return ep is not None and self.ingress_host.port_is_open(ep.port)
+
+    @abc.abstractmethod
+    def running_count(self) -> int:
+        """Number of distinct services currently running here."""
+
+    def has_capacity_for(self, plan: DeploymentPlan) -> bool:
+        """Whether a (new) instance of ``plan`` would fit.
+
+        An already-running service always "fits" (no new slot needed).
+        """
+        if self.is_running(plan):
+            return True
+        if self.capacity is None:
+            return True
+        return self.running_count() < self.capacity
+
+    # -- readiness ---------------------------------------------------------------
+
+    def wait_ready(
+        self,
+        plan: DeploymentPlan,
+        poll_interval_s: float = 0.02,
+        timeout_s: float | None = None,
+    ):
+        """Poll until the service port answers (generator returning bool).
+
+        Models the paper's §VI behaviour: "before setting up the flows,
+        the controller continuously tests if the respective port is
+        open."
+        """
+        deadline = None if timeout_s is None else self.env.now + timeout_s
+        while True:
+            if self.is_running(plan):
+                return True
+            if deadline is not None and self.env.now >= deadline:
+                return False
+            yield self.env.timeout(poll_interval_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r} d={self.distance}>"

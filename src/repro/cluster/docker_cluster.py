@@ -1,0 +1,135 @@
+"""The Docker edge "cluster": a single engine on one host.
+
+Phase mapping (fig. 4): Create = ``docker create`` per container,
+Scale Up = ``docker start`` per container, Scale Down = ``docker
+stop``, Remove = ``docker rm``.  Containers are labelled with
+``edge.service`` so the controller can query them distinctly (§V).
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+
+from repro.cluster.base import DeployError, EdgeCluster, ServiceEndpoint
+from repro.cluster.plan import DeploymentPlan, PlannedContainer
+from repro.containers.containerd import Container, ContainerSpec, ContainerState
+from repro.containers.docker import DockerEngine
+from repro.containers.registry import Registry
+from repro.sim import Environment
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.host import Host
+
+
+class DockerCluster(EdgeCluster):
+    """Edge cluster backed by one Docker engine."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        host: "Host",
+        engine: DockerEngine,
+        image_registry: Registry,
+        distance: int = 0,
+        capacity: int | None = None,
+        host_port_base: int = 20000,
+    ) -> None:
+        super().__init__(env, name, host, distance, capacity)
+        self.engine = engine
+        self.image_registry = image_registry
+        self._ports: dict[str, int] = {}
+        self._port_counter = itertools.count(host_port_base)
+        self._containers: dict[str, list[Container]] = {}
+
+    # -- phases ------------------------------------------------------------
+
+    def pull(self, plan: DeploymentPlan):
+        for image in plan.images:
+            yield from self.engine.pull(image, self.image_registry)
+
+    def create(self, plan: DeploymentPlan):
+        if plan.service_name in self._containers:
+            return
+        if not self.image_cached(plan):
+            raise DeployError(
+                f"{self.name}: images of {plan.service_name!r} not pulled"
+            )
+        host_port = self._ports.setdefault(
+            plan.service_name, next(self._port_counter)
+        )
+        created: list[Container] = []
+        for planned in plan.containers:
+            spec = self._container_spec(plan, planned, host_port)
+            container = yield from self.engine.create_container(spec)
+            created.append(container)
+        self._containers[plan.service_name] = created
+
+    def scale_up(self, plan: DeploymentPlan):
+        containers = self._containers.get(plan.service_name)
+        if not containers:
+            raise DeployError(
+                f"{self.name}: {plan.service_name!r} not created yet"
+            )
+        # Containers start sequentially through the engine API, as the
+        # controller's Docker client does.
+        for container in containers:
+            if container.state in (ContainerState.CREATED, ContainerState.EXITED):
+                yield from self.engine.start_container(container)
+
+    def scale_down(self, plan: DeploymentPlan):
+        for container in self._containers.get(plan.service_name, []):
+            yield from self.engine.stop_container(container)
+
+    def remove(self, plan: DeploymentPlan):
+        containers = self._containers.pop(plan.service_name, [])
+        for container in containers:
+            yield from self.engine.remove_container(container)
+        self._ports.pop(plan.service_name, None)
+
+    def delete_images(self, plan: DeploymentPlan):
+        freed = 0
+        for image in plan.images:
+            freed += yield from self.engine.remove_image(image.reference)
+        return freed
+
+    # -- state ------------------------------------------------------------------
+
+    def image_cached(self, plan: DeploymentPlan) -> bool:
+        return all(self.engine.image_cached(i.reference) for i in plan.images)
+
+    def is_created(self, plan: DeploymentPlan) -> bool:
+        return plan.service_name in self._containers
+
+    def running_count(self) -> int:
+        count = 0
+        for containers in self._containers.values():
+            if any(c.state is ContainerState.RUNNING for c in containers):
+                count += 1
+        return count
+
+    def endpoint(self, plan: DeploymentPlan) -> ServiceEndpoint | None:
+        port = self._ports.get(plan.service_name)
+        if port is None:
+            return None
+        return ServiceEndpoint(ip=self.ingress_host.ip, port=port)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _container_spec(
+        self, plan: DeploymentPlan, planned: PlannedContainer, host_port: int
+    ) -> ContainerSpec:
+        serves = planned.container_port == plan.target_port
+        return ContainerSpec(
+            name=f"{plan.service_name}.{planned.name}",
+            image=planned.image,
+            boot_time_s=planned.boot_time_s,
+            container_port=planned.container_port,
+            host_port=host_port if serves else None,
+            app_factory=planned.app_factory,
+            crash_after_s=planned.crash_after_s,
+            labels={"edge.service": plan.service_name, **plan.labels},
+            env_vars=dict(planned.env),
+            mounts=dict(planned.volume_mounts),
+        )

@@ -1,0 +1,44 @@
+"""Container substrate: layered images, registries, containerd, Docker.
+
+Models the deployment-phase machinery of the paper's fig. 4:
+
+* **Pull** — :class:`Registry` serves layered images; pull time depends
+  on image size, layer count, registry round-trip time, and bandwidth,
+  and already-cached layers are skipped (shared base layers across
+  images are real in the model).
+* **Create** — :class:`Containerd` allocates a container from a spec.
+* **Scale Up** — starting a container pays the namespace-setup cost
+  (per Mohan et al. [23], ~90 % of container start time) plus the
+  application's own boot time; the service port opens on the node host
+  only when the application is ready.
+* **Scale Down / Remove / Delete** — containers stop and are removed;
+  images may be deleted with per-layer refcounting (a layer survives
+  while another image references it).
+"""
+
+from repro.containers.image import ImageSpec, Layer
+from repro.containers.registry import ImageNotFound, Registry, RegistryProfile
+from repro.containers.store import ImageStore
+from repro.containers.containerd import (
+    Container,
+    Containerd,
+    ContainerSpec,
+    ContainerState,
+    RuntimeProfile,
+)
+from repro.containers.docker import DockerEngine
+
+__all__ = [
+    "Container",
+    "Containerd",
+    "ContainerSpec",
+    "ContainerState",
+    "DockerEngine",
+    "ImageNotFound",
+    "ImageSpec",
+    "ImageStore",
+    "Layer",
+    "Registry",
+    "RegistryProfile",
+    "RuntimeProfile",
+]

@@ -1,0 +1,98 @@
+"""Container images as named stacks of content-addressed layers."""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing as _t
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class Layer:
+    """One content-addressed image layer."""
+
+    digest: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"layer size must be >= 0, got {self.size_bytes}")
+
+    @classmethod
+    def synthesize(cls, seed: str, size_bytes: int) -> "Layer":
+        """Deterministic digest from a seed string (test/catalog helper)."""
+        digest = "sha256:" + hashlib.sha256(seed.encode()).hexdigest()[:16]
+        return cls(digest=digest, size_bytes=size_bytes)
+
+
+@dataclasses.dataclass(frozen=True)
+class ImageSpec:
+    """A named, layered container image.
+
+    ``reference`` follows the usual ``[registry/]repo[:tag]`` form; the
+    paper's four services use e.g. ``nginx:1.23.2`` and
+    ``gcr.io/tensorflow-serving/resnet``.
+    """
+
+    reference: str
+    layers: tuple[Layer, ...]
+
+    def __post_init__(self) -> None:
+        if not self.reference:
+            raise ValueError("image reference must be non-empty")
+        if not self.layers:
+            raise ValueError(f"image {self.reference!r} needs at least one layer")
+        digests = [layer.digest for layer in self.layers]
+        if len(set(digests)) != len(digests):
+            raise ValueError(f"image {self.reference!r} has duplicate layer digests")
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(layer.size_bytes for layer in self.layers)
+
+    @property
+    def layer_count(self) -> int:
+        return len(self.layers)
+
+    @classmethod
+    def synthesize(
+        cls,
+        reference: str,
+        total_bytes: int,
+        layer_count: int,
+        shared_layers: _t.Sequence[Layer] = (),
+    ) -> "ImageSpec":
+        """Build an image of ``total_bytes`` split over ``layer_count``
+        layers, optionally reusing ``shared_layers`` (base images).
+
+        The non-shared remainder is split with a top-heavy geometric
+        profile, mirroring how real images have one large payload layer
+        plus small metadata layers.
+        """
+        if layer_count < 1:
+            raise ValueError("layer_count must be >= 1")
+        shared = tuple(shared_layers)
+        if len(shared) > layer_count:
+            raise ValueError("more shared layers than total layers")
+        shared_bytes = sum(layer.size_bytes for layer in shared)
+        own_count = layer_count - len(shared)
+        own_bytes = total_bytes - shared_bytes
+        if own_count == 0:
+            if own_bytes != 0:
+                raise ValueError("shared layers already exceed total size")
+            return cls(reference=reference, layers=shared)
+        if own_bytes < 0:
+            raise ValueError("shared layers exceed the image's total size")
+        # Geometric split: each layer half the previous, largest first.
+        weights = [2.0 ** (own_count - 1 - i) for i in range(own_count)]
+        scale = own_bytes / sum(weights)
+        sizes = [int(w * scale) for w in weights]
+        sizes[0] += own_bytes - sum(sizes)  # absorb rounding
+        own = tuple(
+            Layer.synthesize(f"{reference}#{i}", size)
+            for i, size in enumerate(sizes)
+        )
+        return cls(reference=reference, layers=shared + own)

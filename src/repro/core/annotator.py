@@ -1,0 +1,255 @@
+"""Automatic annotation of service definition files (§V).
+
+Developers write a minimal Kubernetes-Deployment-style YAML — the only
+mandatory datum is the image name.  The annotator
+
+1. assigns a **worldwide-unique service name** derived from the
+   registered cloud address ("something developers may easily forget"),
+2. adds the ``matchLabels`` Kubernetes requires plus an
+   ``edge.service`` label "to be able to address and query edge
+   services in the cluster distinctly",
+3. sets ``replicas: 0`` ("scale to zero") by default,
+4. sets ``schedulerName`` when a Local Scheduler is configured,
+5. generates a *Service* definition (exposed port, target port, TCP)
+   unless the developer already included one,
+
+and produces the cluster-neutral :class:`~repro.cluster.DeploymentPlan`
+both adapters execute.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro import yamlite
+from repro.cluster.plan import DeploymentPlan, PlannedContainer
+from repro.containers.image import ImageSpec
+from repro.net.addressing import IPv4Address
+from repro.services.behavior import BehaviorRegistry
+
+
+class AnnotationError(ValueError):
+    """The service definition is missing required data or malformed."""
+
+
+def unique_service_name(ip: IPv4Address, port: int) -> str:
+    """The worldwide-unique name: derived from the unique (IP, port)
+    combination that identifies a registered service (§II)."""
+    return f"edge-{str(ip).replace('.', '-')}-{port}"
+
+
+class Annotator:
+    """Builds deployment plans from YAML service definitions."""
+
+    def __init__(
+        self,
+        image_library: _t.Mapping[str, ImageSpec],
+        behaviors: BehaviorRegistry,
+        scheduler_name: str | None = None,
+    ) -> None:
+        self.image_library = dict(image_library)
+        self.behaviors = behaviors
+        self.scheduler_name = scheduler_name
+
+    # -- public API --------------------------------------------------------
+
+    def annotate(
+        self,
+        definition_yaml: str,
+        cloud_ip: IPv4Address,
+        port: int,
+    ) -> tuple[DeploymentPlan, str]:
+        """Process one service definition.
+
+        Returns the plan plus the annotated YAML (Deployment +
+        generated Service as a two-document stream) for inspection.
+        """
+        docs = yamlite.load_all(definition_yaml)
+        if not docs:
+            raise AnnotationError("empty service definition")
+        deployment_doc = self._find_doc(docs, "Deployment")
+        if deployment_doc is None:
+            raise AnnotationError("no Deployment document in definition")
+        service_doc = self._find_doc(docs, "Service")
+
+        name = unique_service_name(cloud_ip, port)
+        containers = self._parse_containers(deployment_doc, name)
+        target_port = self._target_port(service_doc, containers)
+        labels = {"app": name, "edge.service": name}
+
+        plan = DeploymentPlan(
+            service_name=name,
+            labels=labels,
+            containers=tuple(containers),
+            target_port=target_port,
+            scheduler_name=self.scheduler_name,
+        )
+        annotated = self._render_annotated(
+            plan, deployment_doc, service_doc, exposed_port=port
+        )
+        return plan, annotated
+
+    # -- parsing ------------------------------------------------------------
+
+    @staticmethod
+    def _find_doc(docs: _t.Sequence[_t.Any], kind: str) -> dict | None:
+        for doc in docs:
+            if isinstance(doc, dict) and doc.get("kind") == kind:
+                return doc
+        # A kind-less single document is treated as the Deployment.
+        if kind == "Deployment" and len(docs) == 1 and isinstance(docs[0], dict):
+            if "kind" not in docs[0]:
+                return docs[0]
+        return None
+
+    def _parse_containers(
+        self, deployment_doc: dict, service_name: str
+    ) -> list[PlannedContainer]:
+        try:
+            raw = deployment_doc["spec"]["template"]["spec"]["containers"]
+        except (KeyError, TypeError):
+            raise AnnotationError(
+                "definition lacks spec.template.spec.containers"
+            ) from None
+        if not isinstance(raw, list) or not raw:
+            raise AnnotationError("containers must be a non-empty list")
+
+        containers: list[PlannedContainer] = []
+        for index, entry in enumerate(raw):
+            if not isinstance(entry, dict):
+                raise AnnotationError(f"container {index} is not a mapping")
+            reference = entry.get("image")
+            if not reference:
+                raise AnnotationError(
+                    f"container {index} is missing the mandatory image name"
+                )
+            image = self.image_library.get(reference)
+            if image is None:
+                raise AnnotationError(
+                    f"image {reference!r} is unknown to the platform"
+                )
+            behavior = (
+                self.behaviors.get(reference)
+                if self.behaviors.known(reference)
+                else None
+            )
+            ports = entry.get("ports") or []
+            container_port = None
+            for port_entry in ports:
+                if isinstance(port_entry, dict) and "containerPort" in port_entry:
+                    container_port = int(port_entry["containerPort"])
+                    break
+            env = {
+                str(e["name"]): str(e.get("value", ""))
+                for e in entry.get("env") or []
+                if isinstance(e, dict) and "name" in e
+            }
+            mounts = {
+                str(m["name"]): str(m.get("mountPath", ""))
+                for m in entry.get("volumeMounts") or []
+                if isinstance(m, dict) and "name" in m
+            }
+            containers.append(
+                PlannedContainer(
+                    name=str(entry.get("name") or f"c{index}"),
+                    image=image,
+                    container_port=container_port,
+                    boot_time_s=behavior.boot_time_s if behavior else 0.0,
+                    app_factory=behavior.app_factory() if behavior else None,
+                    env=env,
+                    volume_mounts=mounts,
+                )
+            )
+        return containers
+
+    @staticmethod
+    def _target_port(
+        service_doc: dict | None, containers: _t.Sequence[PlannedContainer]
+    ) -> int:
+        if service_doc is not None:
+            try:
+                ports = service_doc["spec"]["ports"]
+                first = ports[0]
+                return int(first.get("targetPort", first["port"]))
+            except (KeyError, IndexError, TypeError):
+                raise AnnotationError("Service document has no usable ports") from None
+        for container in containers:
+            if container.container_port is not None:
+                return container.container_port
+        raise AnnotationError(
+            "no containerPort found and no Service document provided"
+        )
+
+    # -- annotated output -----------------------------------------------------
+
+    def _render_annotated(
+        self,
+        plan: DeploymentPlan,
+        deployment_doc: dict,
+        service_doc: dict | None,
+        exposed_port: int,
+    ) -> str:
+        labels = dict(plan.labels)
+        annotated_dep = {
+            "apiVersion": deployment_doc.get("apiVersion", "apps/v1"),
+            "kind": "Deployment",
+            "metadata": {"name": plan.service_name, "labels": labels},
+            "spec": {
+                "replicas": 0,
+                "selector": {"matchLabels": labels},
+                "template": {
+                    "metadata": {"labels": labels},
+                    "spec": {
+                        "containers": [
+                            self._container_doc(c) for c in plan.containers
+                        ],
+                        **(
+                            {"schedulerName": plan.scheduler_name}
+                            if plan.scheduler_name
+                            else {}
+                        ),
+                    },
+                },
+            },
+        }
+        if service_doc is not None:
+            annotated_svc = dict(service_doc)
+            annotated_svc.setdefault("metadata", {})
+            annotated_svc["metadata"]["name"] = plan.service_name
+            annotated_svc["metadata"]["labels"] = labels
+        else:
+            annotated_svc = {
+                "apiVersion": "v1",
+                "kind": "Service",
+                "metadata": {"name": plan.service_name, "labels": labels},
+                "spec": {
+                    "selector": labels,
+                    "ports": [
+                        {
+                            "port": exposed_port,
+                            "targetPort": plan.target_port,
+                            "protocol": "TCP",
+                        }
+                    ],
+                },
+            }
+        return yamlite.dump(annotated_dep) + "---\n" + yamlite.dump(annotated_svc)
+
+    @staticmethod
+    def _container_doc(container: PlannedContainer) -> dict:
+        doc: dict[str, _t.Any] = {
+            "name": container.name,
+            "image": container.image.reference,
+        }
+        if container.container_port is not None:
+            doc["ports"] = [{"containerPort": container.container_port}]
+        if container.env:
+            doc["env"] = [
+                {"name": k, "value": v} for k, v in container.env.items()
+            ]
+        if container.volume_mounts:
+            doc["volumeMounts"] = [
+                {"name": k, "mountPath": v}
+                for k, v in container.volume_mounts.items()
+            ]
+        return doc

@@ -1,0 +1,479 @@
+"""The edge SDN controller application.
+
+Ties everything together as a Ryu-style app (fig. 2/5/7):
+
+* installs interception rules so requests to *registered* services
+  punt to the controller while everything else flows to the cloud,
+* answers packet-ins: FlowMemory fast path, or the full dispatch
+  algorithm (scheduler → deployment phases → flow installation),
+* holds the buffered first packet during *with-waiting* deployments
+  and releases it through the freshly installed flow,
+* rewrites addresses in both directions so the redirection stays
+  transparent to clients,
+* scales idle services down when their memorized flows expire.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster.base import EdgeCluster, ServiceEndpoint
+from repro.core.dispatcher import Dispatcher, Resolution
+from repro.core.flow_memory import FlowMemory, MemorizedFlow
+from repro.core.schedulers.base import GlobalScheduler
+from repro.core.service_registry import EdgeService, ServiceRegistry
+from repro.metrics import MetricsRecorder
+from repro.net.addressing import IPv4Address
+from repro.net.openflow import FlowMatch, Output, PacketIn, SetField
+from repro.sdnfw import Datapath, SDNApp
+from repro.services.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.sim import Environment
+
+#: Flow priorities, lowest to highest.
+PRIORITY_DEFAULT = 0  # match-all -> cloud uplink
+PRIORITY_INFRA = 2  # destination-based infrastructure forwarding
+PRIORITY_INTERCEPT = 10  # registered service -> controller
+PRIORITY_REDIRECT = 20  # per-(client, service) redirection
+
+
+class SwitchTopology:
+    """Static port map the controller needs per datapath.
+
+    The real controller learns this via LLDP/inventory; the testbed
+    builder registers it explicitly.
+    """
+
+    def __init__(self) -> None:
+        self._host_ports: dict[int, dict[IPv4Address, int]] = {}
+        self._cloud_ports: dict[int, int] = {}
+
+    def register_host(self, datapath_id: int, ip: IPv4Address, port: int) -> None:
+        self._host_ports.setdefault(datapath_id, {})[ip] = port
+
+    def set_cloud_port(self, datapath_id: int, port: int) -> None:
+        self._cloud_ports[datapath_id] = port
+
+    def port_for(self, datapath_id: int, ip: IPv4Address) -> int | None:
+        return self._host_ports.get(datapath_id, {}).get(ip)
+
+    def cloud_port(self, datapath_id: int) -> int | None:
+        return self._cloud_ports.get(datapath_id)
+
+    def hosts(self, datapath_id: int) -> dict[IPv4Address, int]:
+        return dict(self._host_ports.get(datapath_id, {}))
+
+
+@dataclasses.dataclass(frozen=True)
+class ControllerConfig:
+    """Controller behaviour knobs (paper §V defaults)."""
+
+    #: Low idle timeout for switch entries (FlowMemory re-installs).
+    switch_idle_timeout_s: float = 10.0
+    #: Longer idle timeout for memorized flows.
+    memory_idle_timeout_s: float = 60.0
+    #: Controller packet-in processing cost (Python/Ryu overhead).
+    processing_delay_s: float = 0.0008
+    #: Scale idle services down when their last flow expires.
+    auto_scale_down: bool = True
+
+    @classmethod
+    def from_calibration(cls, calibration: Calibration) -> "ControllerConfig":
+        return cls(
+            switch_idle_timeout_s=calibration.switch_idle_timeout_s,
+            memory_idle_timeout_s=calibration.memory_idle_timeout_s,
+            processing_delay_s=calibration.controller_processing_s,
+        )
+
+
+class EdgeController(SDNApp):
+    """The transparent-edge SDN controller with on-demand deployment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        registry: ServiceRegistry,
+        clusters: _t.Sequence[EdgeCluster],
+        scheduler: GlobalScheduler,
+        topology: SwitchTopology,
+        config: ControllerConfig | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        recorder: MetricsRecorder | None = None,
+    ) -> None:
+        super().__init__(env, name="edge-controller")
+        self.registry = registry
+        self.clusters = list(clusters)
+        self.topology = topology
+        self.config = config or ControllerConfig.from_calibration(calibration)
+        self.recorder = recorder if recorder is not None else MetricsRecorder()
+        self.flow_memory = FlowMemory(
+            env,
+            idle_timeout_s=self.config.memory_idle_timeout_s,
+            on_expire=self._on_memory_expire,
+        )
+        self.dispatcher = Dispatcher(
+            env,
+            clusters,
+            scheduler,
+            self.flow_memory,
+            recorder=self.recorder,
+            calibration=calibration,
+        )
+        #: Optional request predictor for proactive deployment (§VII).
+        self.predictor = None
+        self.proactive_deployer = None
+        #: Redirect flows installed per client: ip -> {(dpid, cookie)}.
+        #: Used to tear down stale entries on client migration.
+        self._client_cookies: dict[IPv4Address, set[tuple[int, str]]] = {}
+        #: Diagnostics.
+        self.stats = {
+            "packet_in": 0,
+            "memory_hits": 0,
+            "dispatched": 0,
+            "cloud_fallbacks": 0,
+            "scale_downs": 0,
+        }
+
+    def enable_proactive(
+        self,
+        predictor=None,
+        check_interval_s: float = 5.0,
+        lead_time_s: float = 10.0,
+        sample_flow_stats: bool = False,
+        stats_poll_interval_s: float = 5.0,
+    ):
+        """Attach a request predictor and start the proactive deployer.
+
+        With ``sample_flow_stats`` the controller also polls the
+        switches' redirect-flow statistics so the predictor sees *warm*
+        traffic (which never produces packet-ins).
+
+        Returns the :class:`~repro.core.predictor.ProactiveDeployer`.
+        """
+        from repro.core.predictor import (
+            EWMAPredictor,
+            FlowStatsSampler,
+            ProactiveDeployer,
+        )
+
+        self.predictor = predictor if predictor is not None else EWMAPredictor()
+        self.proactive_deployer = ProactiveDeployer(
+            self.env,
+            self.dispatcher,
+            self.registry,
+            self.predictor,
+            check_interval_s=check_interval_s,
+            lead_time_s=lead_time_s,
+        )
+        if sample_flow_stats:
+            self.flow_stats_sampler = FlowStatsSampler(
+                self.env,
+                self,
+                self.predictor,
+                poll_interval_s=stats_poll_interval_s,
+            )
+        return self.proactive_deployer
+
+    def add_cluster(self, cluster: EdgeCluster) -> None:
+        """Register an additional edge cluster at runtime."""
+        self.clusters.append(cluster)
+        self.dispatcher.clusters.append(cluster)
+
+    # -- service registration ------------------------------------------------
+
+    def register_service(
+        self,
+        definition_yaml: str,
+        cloud_ip: IPv4Address,
+        port: int,
+        template_key: str | None = None,
+    ) -> EdgeService:
+        """Register a service and intercept its traffic on all switches."""
+        service = self.registry.register(
+            definition_yaml, cloud_ip, port, template_key=template_key
+        )
+        for datapath in self.datapaths.values():
+            self._install_intercept(datapath, service)
+        return service
+
+    def unregister_service(
+        self, service: EdgeService, remove_deployments: bool = True
+    ) -> None:
+        """Remove a service from the platform.
+
+        Interception and redirect flows are deleted from every switch
+        (its traffic reverts to the plain cloud path), memorized flows
+        are forgotten, and — unless ``remove_deployments`` is False —
+        running instances are scaled down and removed from every
+        cluster (the fig. 4 Scale Down / Remove phases).
+        """
+        self.registry.unregister(service)
+        for datapath in self.datapaths.values():
+            datapath.delete_flows(cookie=f"intercept:{service.name}")
+        for client_ip, cookies in list(self._client_cookies.items()):
+            stale = {
+                (dpid, cookie)
+                for (dpid, cookie) in cookies
+                if cookie.startswith(f"redirect:{service.name}:")
+            }
+            for dpid, cookie in stale:
+                datapath = self.datapaths.get(dpid)
+                if datapath is not None:
+                    datapath.delete_flows(cookie=cookie)
+            cookies -= stale
+        for flow in self.flow_memory.flows_for_service(service):
+            self.flow_memory.forget(flow)
+        if remove_deployments:
+            for cluster in self.clusters:
+                if cluster.is_created(service.plan):
+                    self.env.process(
+                        self._teardown(cluster, service),
+                        name=f"teardown:{service.name}@{cluster.name}",
+                    )
+
+    @staticmethod
+    def _teardown(cluster: EdgeCluster, service: EdgeService):
+        yield from cluster.scale_down(service.plan)
+        yield from cluster.remove(service.plan)
+
+    def _install_intercept(self, datapath: Datapath, service: EdgeService) -> None:
+        from repro.net.openflow.actions import ToController
+
+        datapath.add_flow(
+            FlowMatch(ip_dst=service.cloud_ip, tcp_dst=service.port),
+            [ToController()],
+            priority=PRIORITY_INTERCEPT,
+            cookie=f"intercept:{service.name}",
+            notify_removal=False,
+        )
+
+    # -- datapath lifecycle ----------------------------------------------------
+
+    def on_datapath_join(self, datapath: Datapath) -> None:
+        dpid = datapath.id
+        cloud_port = self.topology.cloud_port(dpid)
+        if cloud_port is not None:
+            datapath.add_flow(
+                FlowMatch(),
+                [Output(cloud_port)],
+                priority=PRIORITY_DEFAULT,
+                cookie="default:cloud",
+                notify_removal=False,
+            )
+        for ip, port in self.topology.hosts(dpid).items():
+            datapath.add_flow(
+                FlowMatch(ip_dst=ip),
+                [Output(port)],
+                priority=PRIORITY_INFRA,
+                cookie=f"infra:{ip}",
+                notify_removal=False,
+            )
+        for service in self.registry.all():
+            self._install_intercept(datapath, service)
+
+    # -- packet-in handling ----------------------------------------------------------
+
+    def on_packet_in(self, datapath: Datapath, message: PacketIn) -> None:
+        self.stats["packet_in"] += 1
+        self.env.process(
+            self._handle_packet_in(datapath, message),
+            name=f"pktin:{message.buffer_id}",
+        )
+
+    def _handle_packet_in(self, datapath: Datapath, message: PacketIn):
+        yield self.env.timeout(self.config.processing_delay_s)
+        packet = message.packet
+        service = self.registry.lookup(packet.ip_dst, packet.tcp.dst_port)
+        if service is None:
+            # Not a registered service: shove it toward the cloud.
+            cloud_port = self.topology.cloud_port(datapath.id)
+            if cloud_port is not None:
+                datapath.packet_out(
+                    [Output(cloud_port)], buffer_id=message.buffer_id
+                )
+            return
+
+        client_ip = packet.ip_src
+        client = self.dispatcher.note_client(client_ip, datapath.id, message.in_port)
+        if self.predictor is not None:
+            self.predictor.observe(service.name, self.env.now)
+
+        memorized = self.flow_memory.lookup(client_ip, service)
+        if memorized is not None and self._endpoint_alive(memorized):
+            # FlowMemory fast path: reinstall without scheduling (§V).
+            self.stats["memory_hits"] += 1
+            self.flow_memory.touch(memorized)
+            self._install_path(
+                datapath,
+                client_ip,
+                message.in_port,
+                service,
+                memorized.endpoint if memorized.cluster_name != "cloud" else None,
+                message.buffer_id,
+            )
+            return
+
+        self.stats["dispatched"] += 1
+        resolution: Resolution = yield from self.dispatcher.resolve(service, client)
+        if resolution.endpoint is None:
+            self.stats["cloud_fallbacks"] += 1
+            self._remember(client_ip, service, resolution)
+            self._install_path(
+                datapath, client_ip, message.in_port, service, None, message.buffer_id
+            )
+        else:
+            self._remember(client_ip, service, resolution)
+            self._install_path(
+                datapath,
+                client_ip,
+                message.in_port,
+                service,
+                resolution.endpoint,
+                message.buffer_id,
+            )
+
+    def _remember(
+        self, client_ip: IPv4Address, service: EdgeService, resolution: Resolution
+    ) -> None:
+        endpoint = resolution.endpoint
+        if endpoint is None:
+            endpoint = ServiceEndpoint(ip=service.cloud_ip, port=service.port)
+        self.flow_memory.remember(
+            client_ip, service, resolution.cluster_name, endpoint
+        )
+
+    def _endpoint_alive(self, flow: MemorizedFlow) -> bool:
+        if flow.cluster_name == "cloud":
+            return True
+        for cluster in self.clusters:
+            if cluster.name == flow.cluster_name:
+                ep = cluster.endpoint(flow.service.plan)
+                return (
+                    ep == flow.endpoint
+                    and cluster.ingress_host.port_is_open(ep.port)
+                )
+        return False
+
+    # -- flow installation --------------------------------------------------------------
+
+    def _install_path(
+        self,
+        datapath: Datapath,
+        client_ip: IPv4Address,
+        client_port_no: int,
+        service: EdgeService,
+        endpoint: ServiceEndpoint | None,
+        buffer_id: int | None,
+    ) -> None:
+        """Install the (client, service) flows and release the held packet.
+
+        ``endpoint is None`` forwards to the cloud without rewriting.
+        The reverse entry goes in *before* the forward entry releases
+        the buffered packet, so the response cannot miss.
+        """
+        idle = self.config.switch_idle_timeout_s
+        cookie = f"redirect:{service.name}:{client_ip}"
+        known = self._client_cookies.setdefault(client_ip, set())
+        if (datapath.id, cookie) in known:
+            # Reinstall (memory fast path, or a concurrent dispatch):
+            # clear the previous entries first so the table never holds
+            # duplicates.  FIFO ordering makes delete-then-add safe.
+            datapath.delete_flows(cookie=cookie)
+        known.add((datapath.id, cookie))
+        if endpoint is None:
+            cloud_port = self.topology.cloud_port(datapath.id)
+            if cloud_port is None:
+                return
+            datapath.add_flow(
+                FlowMatch(
+                    ip_src=client_ip,
+                    ip_dst=service.cloud_ip,
+                    tcp_dst=service.port,
+                ),
+                [Output(cloud_port)],
+                priority=PRIORITY_REDIRECT,
+                idle_timeout=idle,
+                cookie=cookie,
+                buffer_id=buffer_id,
+            )
+            return
+
+        out_port = self.topology.port_for(datapath.id, endpoint.ip)
+        if out_port is None:
+            return
+        # Reverse first: edge responses rewritten back to the cloud address.
+        datapath.add_flow(
+            FlowMatch(
+                ip_src=endpoint.ip, tcp_src=endpoint.port, ip_dst=client_ip
+            ),
+            [
+                SetField("ip_src", service.cloud_ip),
+                SetField("tcp_src", service.port),
+                Output(client_port_no),
+            ],
+            priority=PRIORITY_REDIRECT,
+            idle_timeout=idle,
+            cookie=cookie,
+        )
+        # Forward: client traffic rewritten to the edge instance; the
+        # buffered first packet is released through this entry.
+        datapath.add_flow(
+            FlowMatch(
+                ip_src=client_ip, ip_dst=service.cloud_ip, tcp_dst=service.port
+            ),
+            [
+                SetField("ip_dst", endpoint.ip),
+                SetField("tcp_dst", endpoint.port),
+                Output(out_port),
+            ],
+            priority=PRIORITY_REDIRECT,
+            idle_timeout=idle,
+            cookie=cookie,
+            buffer_id=buffer_id,
+        )
+
+    # -- client mobility (Follow-me style handover) ----------------------------------------
+
+    def install_host_routes(self, ip: IPv4Address) -> None:
+        """(Re)install the infrastructure forwarding rules for one host
+        on every attached switch, from the current topology."""
+        for datapath in self.datapaths.values():
+            port = self.topology.port_for(datapath.id, ip)
+            if port is None:
+                continue
+            datapath.delete_flows(cookie=f"infra:{ip}")
+            datapath.add_flow(
+                FlowMatch(ip_dst=ip),
+                [Output(port)],
+                priority=PRIORITY_INFRA,
+                cookie=f"infra:{ip}",
+                notify_removal=False,
+            )
+
+    def update_client_location(self, client_ip: IPv4Address) -> None:
+        """Handle a client handover to a different switch.
+
+        The testbed updates :attr:`topology` first; this method then
+        refreshes the client's infrastructure routes and removes its
+        stale redirect flows.  The memorized flows survive — the first
+        packet from the new location is a packet-in that the FlowMemory
+        fast path answers, re-establishing the redirection at the new
+        switch without consulting the scheduler.
+        """
+        self.install_host_routes(client_ip)
+        for dpid, cookie in self._client_cookies.pop(client_ip, set()):
+            datapath = self.datapaths.get(dpid)
+            if datapath is not None:
+                datapath.delete_flows(cookie=cookie)
+
+    # -- idle scale-down --------------------------------------------------------------------
+
+    def _on_memory_expire(self, flow: MemorizedFlow) -> None:
+        if not self.config.auto_scale_down:
+            return
+        if flow.cluster_name == "cloud":
+            return
+        if self.flow_memory.service_in_use(flow.service):
+            return
+        self.stats["scale_downs"] += 1
+        self.dispatcher.scale_down_idle(flow.service)

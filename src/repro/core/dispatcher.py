@@ -1,0 +1,282 @@
+"""The Dispatcher component (fig. 6/7).
+
+"Our system architecture includes a Dispatcher component, which feeds
+the Scheduler with information about the current system state and is
+responsible for checking and triggering the deployment of edge
+services.  This component also tracks the clients' current location."
+
+Responsibilities here:
+
+* gather per-cluster :class:`ClusterState` for the scheduler,
+* execute the FAST/BEST decision — *with waiting* (hold until the FAST
+  instance is ready) or *without waiting* (background-deploy BEST),
+* deduplicate concurrent deployments of the same service to the same
+  cluster (several clients can hit a cold service simultaneously —
+  fig. 10 shows up to 8 deployments/s),
+* record per-phase timings (Pull / Create / Scale-Up / wait-ready) for
+  the figure-11..15 harnesses,
+* track client locations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster.base import EdgeCluster, ServiceEndpoint
+from repro.core.flow_memory import FlowMemory
+from repro.core.schedulers.base import (
+    ClientInfo,
+    ClusterState,
+    Decision,
+    GlobalScheduler,
+)
+from repro.core.service_registry import EdgeService
+from repro.metrics import MetricsRecorder
+from repro.services.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.sim import Environment, Process
+
+
+@dataclasses.dataclass
+class DeploymentOutcome:
+    """Timing breakdown of one on-demand deployment."""
+
+    service_name: str
+    cluster_name: str
+    pulled: bool = False
+    created: bool = False
+    scaled: bool = False
+    pull_s: float = 0.0
+    create_s: float = 0.0
+    scale_up_s: float = 0.0
+    wait_ready_s: float = 0.0
+    total_s: float = 0.0
+    ready: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class Resolution:
+    """Where the current request should go."""
+
+    #: None → forward toward the cloud.
+    endpoint: ServiceEndpoint | None
+    cluster_name: str
+    #: The decision that produced this resolution (diagnostics).
+    decision: Decision | None = None
+
+
+class Dispatcher:
+    """Deployment orchestration for the SDN controller."""
+
+    def __init__(
+        self,
+        env: Environment,
+        clusters: _t.Sequence[EdgeCluster],
+        scheduler: GlobalScheduler,
+        flow_memory: FlowMemory,
+        recorder: MetricsRecorder | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        ready_timeout_s: float = 120.0,
+    ) -> None:
+        self.env = env
+        self.clusters = list(clusters)
+        self.scheduler = scheduler
+        self.flow_memory = flow_memory
+        self.recorder = recorder if recorder is not None else MetricsRecorder()
+        self.calibration = calibration
+        self.ready_timeout_s = ready_timeout_s
+        #: (service name, cluster name) -> in-flight deployment process.
+        self._inflight: dict[tuple[str, str], Process] = {}
+        #: client ip -> last known location.
+        self.client_locations: dict[_t.Any, ClientInfo] = {}
+
+    # -- client tracking -----------------------------------------------------
+
+    def note_client(self, ip, datapath_id: int, in_port: int) -> ClientInfo:
+        info = ClientInfo(
+            ip=ip, datapath_id=datapath_id, in_port=in_port, last_seen=self.env.now
+        )
+        self.client_locations[ip] = info
+        return info
+
+    # -- state gathering ----------------------------------------------------------
+
+    def gather_states(self, service: EdgeService) -> list[ClusterState]:
+        """Snapshot every cluster's state for this service."""
+        plan = service.plan
+        return [
+            ClusterState(
+                cluster=cluster,
+                running=cluster.is_running(plan),
+                created=cluster.is_created(plan),
+                cached=cluster.image_cached(plan),
+                has_capacity=self._has_room(service, cluster),
+            )
+            for cluster in self.clusters
+        ]
+
+    def _has_room(self, service: EdgeService, cluster: EdgeCluster) -> bool:
+        """Capacity check that also counts in-flight deployments —
+        otherwise concurrent dispatches would all admit themselves
+        against the same free slots."""
+        if cluster.is_running(service.plan):
+            return True
+        if cluster.capacity is None:
+            return True
+        inflight = sum(
+            1
+            for (svc_name, cluster_name) in self._inflight
+            if cluster_name == cluster.name and svc_name != service.name
+        )
+        return cluster.running_count() + inflight < cluster.capacity
+
+    # -- the dispatch algorithm (fig. 7) ------------------------------------------------
+
+    def resolve(self, service: EdgeService, client: ClientInfo):
+        """Decide and (if needed) deploy; generator returning Resolution.
+
+        Blocks (with-waiting) when the scheduler sends the current
+        request to a cluster without a running instance; spawns a
+        background deployment when a distinct BEST choice exists.
+        """
+        states = self.gather_states(service)
+        decision = self.scheduler.choose(service, states, client)
+        fast, best = decision.fast, decision.best
+
+        if fast is None:
+            # Current request to the cloud; optionally deploy BEST for
+            # future requests (no-waiting with cloud fallback).
+            if best is not None:
+                self.deploy_in_background(service, best)
+            return Resolution(endpoint=None, cluster_name="cloud", decision=decision)
+
+        if best is None or best is fast:
+            # With-waiting: FAST == BEST; the request holds until ready.
+            outcome = yield from self.ensure_deployed(service, fast)
+            if not outcome.ready:
+                return Resolution(
+                    endpoint=None, cluster_name="cloud", decision=decision
+                )
+            endpoint = fast.endpoint(service.plan)
+            assert endpoint is not None
+            return Resolution(
+                endpoint=endpoint, cluster_name=fast.name, decision=decision
+            )
+
+        # Without-waiting: redirect now to FAST, deploy BEST in parallel.
+        if not fast.is_running(service.plan):
+            # Degenerate case (scheduler picked a cold FAST): wait on it.
+            outcome = yield from self.ensure_deployed(service, fast)
+            if not outcome.ready:
+                return Resolution(
+                    endpoint=None, cluster_name="cloud", decision=decision
+                )
+        self.deploy_in_background(service, best)
+        endpoint = fast.endpoint(service.plan)
+        assert endpoint is not None
+        return Resolution(endpoint=endpoint, cluster_name=fast.name, decision=decision)
+
+    # -- deployment pipeline -----------------------------------------------------------
+
+    def ensure_deployed(self, service: EdgeService, cluster: EdgeCluster):
+        """Run (or join) the deployment of ``service`` on ``cluster``.
+
+        Generator returning :class:`DeploymentOutcome`.  Concurrent
+        callers for the same (service, cluster) share one pipeline.
+        """
+        key = (service.name, cluster.name)
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            outcome = yield inflight
+            return outcome
+        process = self.env.process(
+            self._deploy(service, cluster), name=f"deploy:{key}"
+        )
+        self._inflight[key] = process
+        try:
+            outcome = yield process
+        finally:
+            self._inflight.pop(key, None)
+        return outcome
+
+    def _deploy(self, service: EdgeService, cluster: EdgeCluster):
+        plan = service.plan
+        tag = service.template_key or service.name
+        outcome = DeploymentOutcome(
+            service_name=service.name, cluster_name=cluster.name
+        )
+        started = self.env.now
+
+        if cluster.is_running(plan):
+            return outcome
+
+        self.recorder.mark("deployments", started)
+
+        if not cluster.image_cached(plan):
+            t0 = self.env.now
+            yield from cluster.pull(plan)
+            outcome.pulled = True
+            outcome.pull_s = self.env.now - t0
+            self.recorder.record(f"pull/{cluster.name}/{tag}", outcome.pull_s)
+
+        if not cluster.is_created(plan):
+            t0 = self.env.now
+            yield from cluster.create(plan)
+            outcome.created = True
+            outcome.create_s = self.env.now - t0
+            self.recorder.record(f"create/{cluster.name}/{tag}", outcome.create_s)
+
+        t0 = self.env.now
+        yield from cluster.scale_up(plan)
+        outcome.scaled = True
+        outcome.scale_up_s = self.env.now - t0
+        self.recorder.record(f"scale_up/{cluster.name}/{tag}", outcome.scale_up_s)
+
+        # §VI: poll the service port until it answers.
+        t0 = self.env.now
+        ready = yield from cluster.wait_ready(
+            plan,
+            poll_interval_s=self.calibration.port_poll_interval_s,
+            timeout_s=self.ready_timeout_s,
+        )
+        outcome.wait_ready_s = self.env.now - t0
+        outcome.ready = ready
+        self.recorder.record(
+            f"wait_ready/{cluster.name}/{tag}", outcome.wait_ready_s
+        )
+
+        outcome.total_s = self.env.now - started
+        self.recorder.record(f"deploy_total/{cluster.name}/{tag}", outcome.total_s)
+        return outcome
+
+    def deploy_in_background(
+        self, service: EdgeService, cluster: EdgeCluster
+    ) -> Process:
+        """Deploy without blocking the caller; when the instance is
+        ready, repoint the service's memorized flows to it so future
+        requests use the BEST location."""
+        return self.env.process(
+            self._background(service, cluster),
+            name=f"bg-deploy:{service.name}@{cluster.name}",
+        )
+
+    def _background(self, service: EdgeService, cluster: EdgeCluster):
+        outcome = yield from self.ensure_deployed(service, cluster)
+        if not outcome.ready:
+            return
+        endpoint = cluster.endpoint(service.plan)
+        if endpoint is not None:
+            self.flow_memory.update_endpoint(service, cluster.name, endpoint)
+
+    # -- scale-down -------------------------------------------------------------------------
+
+    def scale_down_idle(self, service: EdgeService) -> None:
+        """Scale the service down on every cluster where it runs
+        (called by the controller when the last memorized flow for the
+        service expired)."""
+        for cluster in self.clusters:
+            if cluster.is_running(service.plan):
+                self.env.process(
+                    cluster.scale_down(service.plan),
+                    name=f"scaledown:{service.name}@{cluster.name}",
+                )

@@ -1,0 +1,145 @@
+"""The FlowMemory component (§V).
+
+The controller memorizes every redirection flow it installs.  This
+lets switch idle timeouts stay *low* (small flow tables): when a
+memorized client re-contacts a service after its switch entry expired,
+the controller reinstalls the flow from memory without consulting the
+scheduler.  Memorized flows carry their own (longer) idle timeout;
+their expiry both prunes stale state and signals that a service
+instance may have gone idle — the trigger for automatic scale-down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster.base import ServiceEndpoint
+from repro.core.service_registry import EdgeService
+from repro.net.addressing import IPv4Address
+from repro.sim import Environment
+
+
+@dataclasses.dataclass
+class MemorizedFlow:
+    """One remembered (client, service) → instance mapping."""
+
+    client_ip: IPv4Address
+    service: EdgeService
+    #: Name of the cluster serving the flow ("cloud" for fallback).
+    cluster_name: str
+    endpoint: ServiceEndpoint
+    created_at: float
+    last_used: float
+
+    @property
+    def key(self) -> tuple[IPv4Address, str]:
+        return (self.client_ip, self.service.name)
+
+
+class FlowMemory:
+    """All memorized flows, with idle-expiry sweeping."""
+
+    def __init__(
+        self,
+        env: Environment,
+        idle_timeout_s: float = 60.0,
+        sweep_interval_s: float = 1.0,
+        on_expire: _t.Callable[[MemorizedFlow], None] | None = None,
+    ) -> None:
+        if idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be positive")
+        self.env = env
+        self.idle_timeout_s = float(idle_timeout_s)
+        self.on_expire = on_expire
+        self._flows: dict[tuple[IPv4Address, str], MemorizedFlow] = {}
+        env.process(self._sweeper(sweep_interval_s), name="flowmemory-sweep")
+
+    # -- core operations ---------------------------------------------------
+
+    def remember(
+        self,
+        client_ip: IPv4Address,
+        service: EdgeService,
+        cluster_name: str,
+        endpoint: ServiceEndpoint,
+    ) -> MemorizedFlow:
+        """Memorize (or refresh) the flow for (client, service)."""
+        now = self.env.now
+        flow = self._flows.get((client_ip, service.name))
+        if flow is None:
+            flow = MemorizedFlow(
+                client_ip=client_ip,
+                service=service,
+                cluster_name=cluster_name,
+                endpoint=endpoint,
+                created_at=now,
+                last_used=now,
+            )
+            self._flows[flow.key] = flow
+        else:
+            flow.cluster_name = cluster_name
+            flow.endpoint = endpoint
+            flow.last_used = now
+        return flow
+
+    def lookup(
+        self, client_ip: IPv4Address, service: EdgeService
+    ) -> MemorizedFlow | None:
+        return self._flows.get((client_ip, service.name))
+
+    def touch(self, flow: MemorizedFlow) -> None:
+        flow.last_used = self.env.now
+
+    def forget(self, flow: MemorizedFlow) -> None:
+        self._flows.pop(flow.key, None)
+
+    # -- service-level queries -------------------------------------------------
+
+    def flows_for_service(self, service: EdgeService) -> list[MemorizedFlow]:
+        return [f for f in self._flows.values() if f.service.name == service.name]
+
+    def service_in_use(self, service: EdgeService) -> bool:
+        """Does any client still have a memorized flow to this service?"""
+        return any(
+            f.service.name == service.name for f in self._flows.values()
+        )
+
+    def update_endpoint(
+        self,
+        service: EdgeService,
+        cluster_name: str,
+        endpoint: ServiceEndpoint,
+    ) -> int:
+        """Repoint all of a service's memorized flows (used when the
+        BEST instance becomes ready after a no-waiting redirect).
+        Returns the number of flows updated."""
+        updated = 0
+        for flow in self._flows.values():
+            if flow.service.name == service.name:
+                flow.cluster_name = cluster_name
+                flow.endpoint = endpoint
+                updated += 1
+        return updated
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    # -- expiry ---------------------------------------------------------------------
+
+    def _sweeper(self, interval: float):
+        while True:
+            yield self.env.timeout(interval)
+            now = self.env.now
+            expired = [
+                flow
+                for flow in self._flows.values()
+                if now - flow.last_used >= self.idle_timeout_s
+            ]
+            for flow in expired:
+                self._flows.pop(flow.key, None)
+            # Callbacks run after the removal pass so service_in_use
+            # reflects the post-expiry state.
+            if self.on_expire is not None:
+                for flow in expired:
+                    self.on_expire(flow)

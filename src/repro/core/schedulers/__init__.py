@@ -1,0 +1,33 @@
+"""Global schedulers: pluggable FAST/BEST policies (§IV-B).
+
+The controller's configuration names a scheduler class which is
+dynamically loaded (:func:`load_scheduler`).  A scheduler returns two
+choices:
+
+* **FAST** — the fastest location for the *current* request;
+* **BEST** — the best location for *future* requests, "returned empty
+  if equal to the FAST choice; if non-empty, we have On-Demand
+  Deployment without Waiting.  If FAST is empty, the request is
+  forwarded toward the cloud."
+"""
+
+from repro.core.schedulers.base import ClusterState, Decision, GlobalScheduler
+from repro.core.schedulers.builtin import (
+    CloudOnlyScheduler,
+    HybridDockerK8sScheduler,
+    LowLatencyScheduler,
+    NearestScheduler,
+)
+from repro.core.schedulers.loader import SchedulerLoadError, load_scheduler
+
+__all__ = [
+    "CloudOnlyScheduler",
+    "ClusterState",
+    "Decision",
+    "GlobalScheduler",
+    "HybridDockerK8sScheduler",
+    "LowLatencyScheduler",
+    "NearestScheduler",
+    "SchedulerLoadError",
+    "load_scheduler",
+]

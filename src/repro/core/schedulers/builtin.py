@@ -1,0 +1,136 @@
+"""Built-in global schedulers.
+
+* :class:`NearestScheduler` — always target the nearest cluster; if no
+  instance runs there, the request *waits* for the on-demand
+  deployment (fig. 5).
+* :class:`LowLatencyScheduler` — "if the scheduler demands a very low
+  response time" (fig. 3): serve the current request from the nearest
+  *running* instance (or the cloud) while the optimal edge deploys in
+  parallel.
+* :class:`HybridDockerK8sScheduler` — §VII's combination: answer the
+  first request from Docker (fast start) while the same service
+  deploys to Kubernetes for managed steady-state operation.
+* :class:`CloudOnlyScheduler` — baseline: never deploy, always cloud.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.schedulers.base import (
+    ClientInfo,
+    ClusterState,
+    Decision,
+    GlobalScheduler,
+)
+from repro.core.service_registry import EdgeService
+
+
+def _nearest(states: _t.Sequence[ClusterState]) -> ClusterState | None:
+    """Closest *eligible* cluster (running or with room), ties broken
+    by cached-ness then name.  Full clusters are skipped — their small
+    near-edge capacity is exactly why farther clusters exist (§IV-A)."""
+    eligible = [s for s in states if s.eligible]
+    if not eligible:
+        return None
+    return min(
+        eligible,
+        key=lambda s: (s.distance, not s.cached, s.cluster.name),
+    )
+
+
+def _nearest_running(states: _t.Sequence[ClusterState]) -> ClusterState | None:
+    running = [s for s in states if s.running]
+    if not running:
+        return None
+    return min(running, key=lambda s: (s.distance, s.cluster.name))
+
+
+class NearestScheduler(GlobalScheduler):
+    """Always the nearest cluster; deploy there with waiting if needed."""
+
+    def choose(
+        self,
+        service: EdgeService,
+        states: _t.Sequence[ClusterState],
+        client: ClientInfo,
+    ) -> Decision:
+        nearest = _nearest(states)
+        if nearest is None:
+            return Decision(fast=None, best=None)  # no edge: cloud
+        return Decision(fast=nearest.cluster, best=None)
+
+
+class LowLatencyScheduler(GlobalScheduler):
+    """Serve now from wherever runs; deploy the optimal edge in parallel.
+
+    §IV-A.2: the initial request goes to "a running service instance in
+    another edge (possibly further away) or even ... the cloud.  In
+    parallel, the controller triggers the deployment of the service in
+    the optimal edge cluster."
+    """
+
+    def choose(
+        self,
+        service: EdgeService,
+        states: _t.Sequence[ClusterState],
+        client: ClientInfo,
+    ) -> Decision:
+        nearest = _nearest(states)
+        if nearest is None:
+            return Decision(fast=None, best=None)
+        if nearest.running:
+            return Decision(fast=nearest.cluster, best=None)
+        fallback = _nearest_running(states)
+        if fallback is not None:
+            return Decision(fast=fallback.cluster, best=nearest.cluster)
+        # Nothing runs anywhere: current request to the cloud, deploy
+        # the nearest edge for future requests.
+        return Decision(fast=None, best=nearest.cluster)
+
+
+class HybridDockerK8sScheduler(GlobalScheduler):
+    """§VII: "First, we launch an edge service via Docker to respond
+    faster to the initial request.  Then, we deploy the same service to
+    Kubernetes for future requests."
+
+    Parameters name the two clusters (they usually share one host).
+    """
+
+    def __init__(self, docker_cluster: str, k8s_cluster: str) -> None:
+        self.docker_cluster = docker_cluster
+        self.k8s_cluster = k8s_cluster
+
+    def choose(
+        self,
+        service: EdgeService,
+        states: _t.Sequence[ClusterState],
+        client: ClientInfo,
+    ) -> Decision:
+        by_name = {s.cluster.name: s for s in states}
+        docker = by_name.get(self.docker_cluster)
+        k8s = by_name.get(self.k8s_cluster)
+        if k8s is not None and k8s.running:
+            # Steady state: Kubernetes serves everything.
+            return Decision(fast=k8s.cluster, best=None)
+        if docker is not None and k8s is not None:
+            # First request via Docker (with waiting if not yet up);
+            # Kubernetes deploys in the background as BEST.
+            return Decision(fast=docker.cluster, best=k8s.cluster)
+        if docker is not None:
+            return Decision(fast=docker.cluster, best=None)
+        if k8s is not None:
+            return Decision(fast=k8s.cluster, best=None)
+        return Decision(fast=None, best=None)
+
+
+class CloudOnlyScheduler(GlobalScheduler):
+    """Baseline: never use the edge."""
+
+    def choose(
+        self,
+        service: EdgeService,
+        states: _t.Sequence[ClusterState],
+        client: ClientInfo,
+    ) -> Decision:
+        return Decision(fast=None, best=None)

@@ -1,0 +1,90 @@
+"""Registered edge services, keyed by their unique cloud address.
+
+§II: "The services to be redirected to the edge are first registered
+with a mobile edge platform provider, identified by their unique
+combination of domain name/IP address and port number."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster.plan import DeploymentPlan
+from repro.core.annotator import Annotator
+from repro.net.addressing import IPv4Address
+from repro.net.packet import HTTPRequest
+
+
+@dataclasses.dataclass
+class EdgeService:
+    """One registered edge service."""
+
+    #: Worldwide-unique name assigned by the annotator.
+    name: str
+    cloud_ip: IPv4Address
+    port: int
+    plan: DeploymentPlan
+    #: The developer's original definition and the annotated output.
+    definition_yaml: str
+    annotated_yaml: str
+    #: Catalog key ("asm", "nginx", ...) for experiment aggregation.
+    template_key: str | None = None
+
+    @property
+    def address(self) -> tuple[IPv4Address, int]:
+        return (self.cloud_ip, self.port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<EdgeService {self.name} @ {self.cloud_ip}:{self.port}>"
+
+
+class ServiceRegistry:
+    """All services the platform provider has registered."""
+
+    def __init__(self, annotator: Annotator) -> None:
+        self.annotator = annotator
+        self._by_address: dict[tuple[IPv4Address, int], EdgeService] = {}
+        self._by_name: dict[str, EdgeService] = {}
+
+    def register(
+        self,
+        definition_yaml: str,
+        cloud_ip: IPv4Address,
+        port: int,
+        template_key: str | None = None,
+    ) -> EdgeService:
+        """Register a service definition under a cloud address."""
+        address = (cloud_ip, port)
+        if address in self._by_address:
+            raise ValueError(f"service at {cloud_ip}:{port} already registered")
+        plan, annotated = self.annotator.annotate(definition_yaml, cloud_ip, port)
+        service = EdgeService(
+            name=plan.service_name,
+            cloud_ip=cloud_ip,
+            port=port,
+            plan=plan,
+            definition_yaml=definition_yaml,
+            annotated_yaml=annotated,
+            template_key=template_key,
+        )
+        self._by_address[address] = service
+        self._by_name[service.name] = service
+        return service
+
+    def unregister(self, service: EdgeService) -> None:
+        self._by_address.pop(service.address, None)
+        self._by_name.pop(service.name, None)
+
+    def lookup(self, ip: IPv4Address, port: int) -> EdgeService | None:
+        """The service registered at ``ip:port``, if any."""
+        return self._by_address.get((ip, port))
+
+    def by_name(self, name: str) -> EdgeService | None:
+        return self._by_name.get(name)
+
+    def all(self) -> list[EdgeService]:
+        return sorted(self._by_address.values(), key=lambda s: s.name)
+
+    def __len__(self) -> int:
+        return len(self._by_address)

@@ -1,0 +1,86 @@
+"""Experiment runners: one per table/figure of the evaluation (§VI).
+
+Each ``run_*`` function builds the testbed(s), executes the paper's
+measurement protocol, and returns an :class:`ExperimentResult` whose
+rows mirror the corresponding figure.  The benchmark harness under
+``benchmarks/`` and EXPERIMENTS.md are both generated from these.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.table1 import run_table1
+from repro.experiments.fig09_10_workload import (
+    run_fig09_request_distribution,
+    run_fig10_deployment_distribution,
+)
+from repro.experiments.fig11_15_deployment import (
+    run_fig11_scale_up,
+    run_fig12_create_scale_up,
+    run_fig14_wait_after_scale_up,
+    run_fig15_wait_after_create_scale_up,
+    run_scale_up_experiment,
+)
+from repro.experiments.fig13_pull import run_fig13_pull
+from repro.experiments.fig16_warm import run_fig16_warm_requests
+from repro.experiments.trace_replay import run_trace_replay
+from repro.experiments.ablations import (
+    run_ablation_flow_occupancy,
+    run_ablation_flow_table,
+    run_ablation_hybrid,
+    run_ablation_layer_cache,
+    run_ablation_waiting_modes,
+)
+from repro.experiments.extension_serverless import run_extension_serverless
+from repro.experiments.extension_proactive import run_extension_proactive
+from repro.experiments.extension_load import run_extension_load
+from repro.experiments.extension_breakdown import run_extension_breakdown
+from repro.experiments.extension_hierarchy import run_extension_hierarchy
+
+#: Name -> runner, for the CLI and docs generation.
+EXPERIMENTS = {
+    "table1": run_table1,
+    "fig09": run_fig09_request_distribution,
+    "fig10": run_fig10_deployment_distribution,
+    "fig11": run_fig11_scale_up,
+    "fig12": run_fig12_create_scale_up,
+    "fig13": run_fig13_pull,
+    "fig14": run_fig14_wait_after_scale_up,
+    "fig15": run_fig15_wait_after_create_scale_up,
+    "fig16": run_fig16_warm_requests,
+    "trace": run_trace_replay,
+    "ablation_waiting": run_ablation_waiting_modes,
+    "ablation_hybrid": run_ablation_hybrid,
+    "ablation_layer_cache": run_ablation_layer_cache,
+    "ablation_flow_table": run_ablation_flow_table,
+    "ablation_flow_occupancy": run_ablation_flow_occupancy,
+    "extension_serverless": run_extension_serverless,
+    "extension_proactive": run_extension_proactive,
+    "extension_load": run_extension_load,
+    "extension_breakdown": run_extension_breakdown,
+    "extension_hierarchy": run_extension_hierarchy,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_ablation_flow_occupancy",
+    "run_ablation_flow_table",
+    "run_ablation_hybrid",
+    "run_ablation_layer_cache",
+    "run_ablation_waiting_modes",
+    "run_fig09_request_distribution",
+    "run_fig10_deployment_distribution",
+    "run_fig11_scale_up",
+    "run_fig12_create_scale_up",
+    "run_fig13_pull",
+    "run_fig14_wait_after_scale_up",
+    "run_fig15_wait_after_create_scale_up",
+    "run_extension_breakdown",
+    "run_extension_hierarchy",
+    "run_extension_load",
+    "run_extension_proactive",
+    "run_extension_serverless",
+    "run_fig16_warm_requests",
+    "run_scale_up_experiment",
+    "run_table1",
+    "run_trace_replay",
+]

@@ -1,0 +1,54 @@
+"""Common result container for experiment runners."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.metrics import render_table
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[_t.Any]]
+    #: Shape expectations from the paper, stated as prose.
+    paper_shape: str = ""
+    #: Free-form extra data (raw samples, series) for tests/figures.
+    extras: dict[str, _t.Any] = dataclasses.field(default_factory=dict)
+
+    def render(self) -> str:
+        text = render_table(
+            self.headers, self.rows, title=f"{self.experiment_id}: {self.title}"
+        )
+        if self.paper_shape:
+            text += f"\n\npaper shape: {self.paper_shape}"
+        return text
+
+    def column(self, header: str) -> list[_t.Any]:
+        """All values of one column, by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def cell(self, row_key: _t.Any, header: str) -> _t.Any:
+        """Value addressed by first-column key and header name."""
+        index = self.headers.index(header)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[index]
+        raise KeyError(f"no row with key {row_key!r}")
+
+    def to_csv(self) -> str:
+        """The rows as CSV text (header line included)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()

@@ -1,0 +1,214 @@
+"""Figures 11, 12, 14, 15 — deployment-phase timings.
+
+The measurement protocol follows §VI: for each service type and each
+cluster type, 42 service instances are brought into the target state
+(images cached; containers/Deployments pre-created for the Scale-Up
+tests), then each instance receives its first client request through
+the transparent-edge path.  The reported ``total`` is the client's
+timecurl ``time_total``; ``wait_ready`` is the controller's
+port-polling wait (figs. 14/15), a component of the total.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.experiments.base import ExperimentResult
+from repro.metrics import Summary, summarize
+from repro.services.catalog import PAPER_SERVICES, ServiceTemplate
+from repro.testbed import C3Testbed, TestbedConfig
+
+#: Cache: one (template, cluster, mode, n) run feeds both the total-time
+#: figure (11/12) and its wait-time companion (14/15).
+_CACHE: dict[tuple, "ScaleUpRun"] = {}
+
+
+@dataclasses.dataclass
+class ScaleUpRun:
+    """Raw outcome of one (service, cluster, mode) measurement."""
+
+    template_key: str
+    cluster_type: str
+    pre_created: bool
+    totals: list[float]
+    wait_ready: list[float]
+    scale_up_api: list[float]
+    create: list[float]
+
+    @property
+    def total_summary(self) -> Summary:
+        return summarize(self.totals)
+
+    @property
+    def wait_summary(self) -> Summary:
+        return summarize(self.wait_ready)
+
+
+def run_scale_up_experiment(
+    template: ServiceTemplate,
+    cluster_type: str,
+    n_instances: int = 42,
+    pre_create: bool = True,
+    use_cache: bool = True,
+) -> ScaleUpRun:
+    """Deploy ``n_instances`` fresh instances and measure first requests.
+
+    ``pre_create=True`` leaves only Scale Up to do (fig. 11/14);
+    ``pre_create=False`` leaves Create + Scale Up (fig. 12/15).
+    Images are always cached first — the Pull phase is fig. 13's
+    separate experiment.
+    """
+    key = (template.key, cluster_type, pre_create, n_instances)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    tb = C3Testbed(TestbedConfig(cluster_types=(cluster_type,)))
+    cluster = tb.docker_cluster if cluster_type == "docker" else tb.k8s_cluster
+    assert cluster is not None
+
+    services = [tb.register_template(template) for _ in range(n_instances)]
+    for service in services:
+        if pre_create:
+            tb.prepare_created(cluster, service)
+        else:
+            tb.prepare_pulled(cluster, service)
+    tb.settle(1.0)
+
+    totals: list[float] = []
+    for i, service in enumerate(services):
+        client = tb.clients[i % len(tb.clients)]
+        result = tb.run_request(client, service, template.request)
+        if not result.response.ok:
+            raise RuntimeError(
+                f"first request to {service.name} failed: {result.response.status}"
+            )
+        totals.append(result.time_total)
+        tb.settle(0.25)
+
+    run = ScaleUpRun(
+        template_key=template.key,
+        cluster_type=cluster_type,
+        pre_created=pre_create,
+        totals=totals,
+        wait_ready=tb.recorder.samples(f"wait_ready/{cluster.name}/{template.key}"),
+        scale_up_api=tb.recorder.samples(f"scale_up/{cluster.name}/{template.key}"),
+        create=tb.recorder.samples(f"create/{cluster.name}/{template.key}"),
+    )
+    if use_cache:
+        _CACHE[key] = run
+    return run
+
+
+def _deployment_figure(
+    experiment_id: str,
+    title: str,
+    pre_create: bool,
+    value: str,
+    paper_shape: str,
+    services: _t.Sequence[ServiceTemplate] = PAPER_SERVICES,
+    cluster_types: _t.Sequence[str] = ("docker", "k8s"),
+    n_instances: int = 42,
+) -> ExperimentResult:
+    rows = []
+    runs: dict[tuple[str, str], ScaleUpRun] = {}
+    for template in services:
+        row: list[_t.Any] = [template.title]
+        for cluster_type in cluster_types:
+            run = run_scale_up_experiment(
+                template, cluster_type, n_instances=n_instances, pre_create=pre_create
+            )
+            runs[(template.key, cluster_type)] = run
+            summary = run.total_summary if value == "total" else run.wait_summary
+            row.append(round(summary.median, 4))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["Service"] + [f"{c} median (s)" for c in cluster_types],
+        rows=rows,
+        paper_shape=paper_shape,
+        extras={"runs": runs},
+    )
+
+
+def run_fig11_scale_up(
+    n_instances: int = 42,
+    services: _t.Sequence[ServiceTemplate] = PAPER_SERVICES,
+    cluster_types: _t.Sequence[str] = ("docker", "k8s"),
+) -> ExperimentResult:
+    """Fig. 11: total time (median) to *scale up* on both clusters."""
+    return _deployment_figure(
+        "Fig. 11",
+        "Total time (median) to scale up four services on two clusters",
+        pre_create=True,
+        value="total",
+        paper_shape=(
+            "Docker < 1 s for Asm/Nginx, Kubernetes ~ 3 s; no notable "
+            "Asm-vs-Nginx difference; ResNet significantly slower; "
+            "Nginx+Py slower than Nginx."
+        ),
+        services=services,
+        cluster_types=cluster_types,
+        n_instances=n_instances,
+    )
+
+
+def run_fig12_create_scale_up(
+    n_instances: int = 42,
+    services: _t.Sequence[ServiceTemplate] = PAPER_SERVICES,
+    cluster_types: _t.Sequence[str] = ("docker", "k8s"),
+) -> ExperimentResult:
+    """Fig. 12: total time (median) to *create + scale up*."""
+    return _deployment_figure(
+        "Fig. 12",
+        "Total time (median) to create + scale up four services",
+        pre_create=False,
+        value="total",
+        paper_shape=(
+            "Creating the containers adds around 100 ms to the first "
+            "request versus fig. 11 (relatively negligible for ResNet)."
+        ),
+        services=services,
+        cluster_types=cluster_types,
+        n_instances=n_instances,
+    )
+
+
+def run_fig14_wait_after_scale_up(
+    n_instances: int = 42,
+    services: _t.Sequence[ServiceTemplate] = PAPER_SERVICES,
+    cluster_types: _t.Sequence[str] = ("docker", "k8s"),
+) -> ExperimentResult:
+    """Fig. 14: wait time (median) until ready after *scale up*."""
+    return _deployment_figure(
+        "Fig. 14",
+        "Wait time (median) until services are ready after scale up",
+        pre_create=True,
+        value="wait",
+        paper_shape=(
+            "Included in fig. 11's totals; for ResNet the wait alone "
+            "accounts for more than a fourth of the total time."
+        ),
+        services=services,
+        cluster_types=cluster_types,
+        n_instances=n_instances,
+    )
+
+
+def run_fig15_wait_after_create_scale_up(
+    n_instances: int = 42,
+    services: _t.Sequence[ServiceTemplate] = PAPER_SERVICES,
+    cluster_types: _t.Sequence[str] = ("docker", "k8s"),
+) -> ExperimentResult:
+    """Fig. 15: wait time (median) until ready after *create + scale up*."""
+    return _deployment_figure(
+        "Fig. 15",
+        "Wait time (median) until ready after create + scale up",
+        pre_create=False,
+        value="wait",
+        paper_shape="Included in fig. 12's totals; same ordering as fig. 14.",
+        services=services,
+        cluster_types=cluster_types,
+        n_instances=n_instances,
+    )

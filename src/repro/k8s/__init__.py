@@ -1,0 +1,57 @@
+"""A Kubernetes substrate: API server, controllers, scheduler, kubelet.
+
+The paper deploys edge services to a real (single-node) Kubernetes
+cluster and observes ≈3 s scale-up latency versus Docker's <1 s
+(fig. 11).  This package reproduces that gap *structurally*: the
+latency emerges from the modelled control loops —
+
+``kubectl scale`` → API server → deployment controller → replica-set
+controller → scheduler → kubelet (sandbox + CNI + containers) → status
+update → endpoints → kube-proxy programs the node port —
+
+each hop paying watch latency, work-queue delay, and API round trips
+(see :class:`~repro.k8s.profile.K8sProfile` for the calibrated
+constants).  Both Kubernetes and Docker drive the *same*
+:class:`~repro.containers.Containerd` runtime, as on the paper's EGS.
+"""
+
+from repro.k8s.objects import (
+    ContainerDef,
+    Deployment,
+    DeploymentSpec,
+    ObjectMeta,
+    Pod,
+    PodSpec,
+    PodTemplateSpec,
+    ReplicaSet,
+    Service,
+    ServicePort,
+    ServiceSpec,
+    matches_selector,
+)
+from repro.k8s.apiserver import APIServer, Conflict, NotFound, WatchEvent
+from repro.k8s.profile import K8sProfile
+from repro.k8s.cluster import KubernetesCluster
+from repro.k8s.client import KubernetesClient
+
+__all__ = [
+    "APIServer",
+    "Conflict",
+    "ContainerDef",
+    "Deployment",
+    "DeploymentSpec",
+    "K8sProfile",
+    "KubernetesClient",
+    "KubernetesCluster",
+    "NotFound",
+    "ObjectMeta",
+    "Pod",
+    "PodSpec",
+    "PodTemplateSpec",
+    "ReplicaSet",
+    "Service",
+    "ServicePort",
+    "ServiceSpec",
+    "WatchEvent",
+    "matches_selector",
+]

@@ -1,0 +1,190 @@
+"""The Kubernetes API server: object store plus watch streams.
+
+Every CRUD call is a generator that pays ``api_latency_s``; every
+watcher receives ADDED/MODIFIED/DELETED events after
+``watch_latency_s``, preserving per-watch ordering — the informer
+behaviour the control loops are built on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.k8s.objects import KINDS, ObjectMeta, matches_selector
+from repro.k8s.profile import K8sProfile
+from repro.sim import Environment, Store
+
+
+class NotFound(KeyError):
+    """No such object."""
+
+
+class Conflict(RuntimeError):
+    """Create of an already-existing object."""
+
+
+@dataclasses.dataclass
+class WatchEvent:
+    type: str  # ADDED | MODIFIED | DELETED
+    obj: _t.Any
+
+
+class Watch:
+    """One subscriber's event stream for a kind."""
+
+    def __init__(self, env: Environment, kind: str) -> None:
+        self.env = env
+        self.kind = kind
+        self.events: Store = Store(env)
+        self.active = True
+
+    def get(self):
+        """Event for the next watch notification (yield it)."""
+        return self.events.get()
+
+    def cancel(self) -> None:
+        self.active = False
+
+
+class APIServer:
+    """Stores all cluster objects and fans out watch events."""
+
+    def __init__(self, env: Environment, profile: K8sProfile | None = None) -> None:
+        self.env = env
+        self.profile = profile or K8sProfile()
+        self._objects: dict[str, dict[tuple[str, str], _t.Any]] = {
+            kind: {} for kind in KINDS
+        }
+        self._watches: dict[str, list[Watch]] = {kind: [] for kind in KINDS}
+        self._resource_version = 0
+        #: API request counter, for tests.
+        self.stats = {"requests": 0, "events": 0}
+
+    # -- helpers ----------------------------------------------------------
+
+    def _latency(self):
+        self.stats["requests"] += 1
+        yield self.env.timeout(self.profile.api_latency_s)
+
+    def _bump(self, meta: ObjectMeta) -> None:
+        self._resource_version += 1
+        meta.resource_version = self._resource_version
+
+    def _notify(self, kind: str, event_type: str, obj: _t.Any) -> None:
+        for watch in self._watches[kind]:
+            if watch.active:
+                self.stats["events"] += 1
+                self.env.process(
+                    self._deliver(watch, WatchEvent(event_type, obj)),
+                    name=f"watch-ev:{kind}",
+                )
+
+    def _deliver(self, watch: Watch, event: WatchEvent):
+        yield self.env.timeout(self.profile.watch_latency_s)
+        if watch.active:
+            watch.events.put(event)
+
+    @staticmethod
+    def _kind_of(obj: _t.Any) -> str:
+        kind = getattr(obj, "kind", None)
+        if kind not in KINDS:
+            raise TypeError(f"not an API object: {obj!r}")
+        return kind
+
+    # -- CRUD (generators) ---------------------------------------------------
+
+    def create(self, obj: _t.Any):
+        """Create an object (generator returning it)."""
+        kind = self._kind_of(obj)
+        yield from self._latency()
+        key = obj.metadata.key
+        if key in self._objects[kind]:
+            raise Conflict(f"{kind} {key} already exists")
+        obj.metadata.creation_time = self.env.now
+        self._bump(obj.metadata)
+        self._objects[kind][key] = obj
+        self._notify(kind, "ADDED", obj)
+        return obj
+
+    def get(self, kind: str, name: str, namespace: str = "default"):
+        """Fetch one object (generator)."""
+        yield from self._latency()
+        obj = self._objects[kind].get((namespace, name))
+        if obj is None:
+            raise NotFound(f"{kind} {namespace}/{name}")
+        return obj
+
+    def try_get(self, kind: str, name: str, namespace: str = "default"):
+        """Like :meth:`get` but returns ``None`` instead of raising."""
+        yield from self._latency()
+        return self._objects[kind].get((namespace, name))
+
+    def list(
+        self,
+        kind: str,
+        namespace: str | None = "default",
+        selector: _t.Mapping[str, str] | None = None,
+    ):
+        """List objects, optionally filtered by label selector (generator)."""
+        yield from self._latency()
+        return self.list_nowait(kind, namespace, selector)
+
+    def list_nowait(
+        self,
+        kind: str,
+        namespace: str | None = "default",
+        selector: _t.Mapping[str, str] | None = None,
+    ) -> list[_t.Any]:
+        """Synchronous (informer-cache style) list, no API latency."""
+        result = []
+        for (ns, _), obj in self._objects[kind].items():
+            if namespace is not None and ns != namespace:
+                continue
+            if selector and not matches_selector(obj.metadata.labels, selector):
+                continue
+            result.append(obj)
+        result.sort(key=lambda o: o.metadata.uid)
+        return result
+
+    def update(self, obj: _t.Any):
+        """Persist a mutation and notify watchers (generator)."""
+        kind = self._kind_of(obj)
+        yield from self._latency()
+        key = obj.metadata.key
+        if key not in self._objects[kind]:
+            raise NotFound(f"{kind} {key}")
+        self._bump(obj.metadata)
+        self._objects[kind][key] = obj
+        self._notify(kind, "MODIFIED", obj)
+        return obj
+
+    def delete(self, kind: str, name: str, namespace: str = "default"):
+        """Delete an object (generator returning it)."""
+        yield from self._latency()
+        obj = self._objects[kind].pop((namespace, name), None)
+        if obj is None:
+            raise NotFound(f"{kind} {namespace}/{name}")
+        self._notify(kind, "DELETED", obj)
+        return obj
+
+    # -- watches -------------------------------------------------------------------
+
+    def watch(self, kind: str, replay_existing: bool = True) -> Watch:
+        """Subscribe to a kind's events.
+
+        With ``replay_existing`` the watch starts with synthetic ADDED
+        events for current objects (informer list+watch semantics).
+        """
+        if kind not in KINDS:
+            raise ValueError(f"unknown kind {kind!r}")
+        watch = Watch(self.env, kind)
+        self._watches[kind].append(watch)
+        if replay_existing:
+            for obj in self.list_nowait(kind, namespace=None):
+                self._notify_one(watch, WatchEvent("ADDED", obj))
+        return watch
+
+    def _notify_one(self, watch: Watch, event: WatchEvent) -> None:
+        self.stats["events"] += 1
+        self.env.process(self._deliver(watch, event), name="watch-replay")

@@ -1,0 +1,86 @@
+"""A kubernetes-python-client-like API used by the SDN controller.
+
+The paper: "For communicating with Docker and the Kubernetes cluster,
+we use the respective Python client libraries."  This mirrors the
+handful of operations the controller needs: create/patch/delete
+Deployments and Services, scale, and list pods by label selector.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.k8s.apiserver import APIServer, NotFound
+from repro.k8s.objects import Deployment, Pod, Service
+
+
+class KubernetesClient:
+    """Typed convenience wrapper over the API server.
+
+    All methods are generators (they pay API latency); callers drive
+    them with ``yield from``.
+    """
+
+    def __init__(self, api: APIServer, namespace: str = "default") -> None:
+        self.api = api
+        self.namespace = namespace
+
+    # -- deployments -------------------------------------------------------
+
+    def create_deployment(self, deployment: Deployment):
+        deployment.metadata.namespace = self.namespace
+        result = yield from self.api.create(deployment)
+        return result
+
+    def read_deployment(self, name: str):
+        result = yield from self.api.get("Deployment", name, self.namespace)
+        return result
+
+    def deployment_exists(self, name: str):
+        result = yield from self.api.try_get("Deployment", name, self.namespace)
+        return result is not None
+
+    def scale_deployment(self, name: str, replicas: int):
+        """Equivalent of ``patch_namespaced_deployment_scale``."""
+        if replicas < 0:
+            raise ValueError("replicas must be >= 0")
+        deployment = yield from self.api.get("Deployment", name, self.namespace)
+        if deployment.spec.replicas != replicas:
+            deployment.spec.replicas = replicas
+            yield from self.api.update(deployment)
+        return deployment
+
+    def delete_deployment(self, name: str):
+        try:
+            result = yield from self.api.delete("Deployment", name, self.namespace)
+        except NotFound:
+            return None
+        return result
+
+    # -- services -------------------------------------------------------------
+
+    def create_service(self, service: Service):
+        service.metadata.namespace = self.namespace
+        result = yield from self.api.create(service)
+        return result
+
+    def read_service(self, name: str):
+        result = yield from self.api.get("Service", name, self.namespace)
+        return result
+
+    def delete_service(self, name: str):
+        try:
+            result = yield from self.api.delete("Service", name, self.namespace)
+        except NotFound:
+            return None
+        return result
+
+    # -- pods --------------------------------------------------------------------
+
+    def list_pods(self, selector: _t.Mapping[str, str] | None = None):
+        result = yield from self.api.list("Pod", self.namespace, selector)
+        return result
+
+    def ready_pods(self, selector: _t.Mapping[str, str] | None = None):
+        pods: list[Pod] = yield from self.list_pods(selector)
+        return [p for p in pods if p.status.ready]

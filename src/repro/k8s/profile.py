@@ -1,0 +1,64 @@
+"""Calibrated latency constants for the Kubernetes control plane.
+
+Each constant models one hop of the scale-up chain.  The defaults are
+calibrated so that the end-to-end 0→1 scale-up of a small service
+lands near the paper's ≈3 s median (fig. 11) — the individual values
+are in the range of documented component behaviour (informer/watch
+propagation, work-queue processing, CNI setup, status-manager and
+endpoint batching), but only their *sum* is fitted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class K8sProfile:
+    """Latency model of one Kubernetes cluster's control plane."""
+
+    # API server -----------------------------------------------------------
+    #: One synchronous API request (create/get/update/patch).
+    api_latency_s: float = 0.012
+    #: Delivery delay of one watch event to an informer.
+    watch_latency_s: float = 0.018
+
+    # Controller manager --------------------------------------------------------
+    #: Work-queue dwell + reconcile computation, deployment controller.
+    deployment_sync_s: float = 0.060
+    #: Work-queue dwell + reconcile computation, replica-set controller.
+    replicaset_sync_s: float = 0.060
+
+    # Scheduler ---------------------------------------------------------------------
+    #: Scheduling-queue dwell + predicates/priorities evaluation.
+    scheduler_sync_s: float = 0.110
+    #: Binding API call overhead.
+    bind_latency_s: float = 0.025
+
+    # Kubelet ----------------------------------------------------------------------------
+    #: Pod-worker wakeup + config processing after the watch event.
+    kubelet_sync_s: float = 0.180
+    #: Pod sandbox creation: pause container, cgroups, CNI plugin run.
+    sandbox_setup_s: float = 0.950
+    #: Checking image presence with the runtime, per container.
+    image_check_s: float = 0.050
+    #: Status-manager batching before the Running/Ready update lands.
+    status_update_s: float = 0.350
+
+    # Service plumbing -----------------------------------------------------------------------
+    #: Endpoints-controller reaction to a pod becoming ready.
+    endpoints_sync_s: float = 0.160
+    #: kube-proxy iptables/ipvs programming of the node port.
+    kubeproxy_sync_s: float = 0.420
+
+    #: Kubelet housekeeping loop period (reconciles missed work).
+    kubelet_loop_period_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) < 0:
+                raise ValueError(f"{field.name} must be >= 0")
+
+
+#: Profile used by all experiments unless overridden.
+DEFAULT_PROFILE = K8sProfile()

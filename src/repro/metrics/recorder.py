@@ -1,0 +1,103 @@
+"""Sample recorders used across the simulation.
+
+Every component that wants to report a measurement pushes
+``(name, value)`` samples into a shared :class:`MetricsRecorder`; the
+experiment harness reads them back as summaries or raw arrays.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as _t
+
+from repro.metrics.stats import Summary, summarize
+
+
+class TimeSeries:
+    """(timestamp, value) pairs recorded in simulation order."""
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        self._times.append(time)
+        self._values.append(value)
+
+    @property
+    def times(self) -> list[float]:
+        return list(self._times)
+
+    @property
+    def values(self) -> list[float]:
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def bucket_counts(self, bucket: float, horizon: float) -> list[int]:
+        """Count events per ``bucket``-second bin over ``[0, horizon)``.
+
+        Used to regenerate the figure-9/10 time distributions.
+        """
+        if bucket <= 0:
+            raise ValueError(f"bucket must be positive, got {bucket}")
+        n = max(1, int(horizon / bucket + 0.5))
+        counts = [0] * n
+        for t in self._times:
+            idx = int(t / bucket)
+            if 0 <= idx < n:
+                counts[idx] += 1
+        return counts
+
+
+class MetricsRecorder:
+    """Collects named scalar samples and named time series."""
+
+    def __init__(self) -> None:
+        self._samples: dict[str, list[float]] = collections.defaultdict(list)
+        self._series: dict[str, TimeSeries] = collections.defaultdict(TimeSeries)
+
+    # -- scalar samples ---------------------------------------------------
+
+    def record(self, name: str, value: float) -> None:
+        """Append a scalar sample under ``name``."""
+        self._samples[name].append(float(value))
+
+    def samples(self, name: str) -> list[float]:
+        """All samples recorded under ``name`` (empty if none)."""
+        return list(self._samples.get(name, ()))
+
+    def summary(self, name: str) -> Summary:
+        """Summary statistics for ``name``; raises if no samples exist."""
+        values = self._samples.get(name)
+        if not values:
+            raise KeyError(f"no samples recorded under {name!r}")
+        return summarize(values)
+
+    def names(self) -> list[str]:
+        return sorted(self._samples)
+
+    # -- time series --------------------------------------------------------
+
+    def mark(self, name: str, time: float, value: float = 1.0) -> None:
+        """Append an event to the time series ``name``."""
+        self._series[name].append(time, value)
+
+    def series(self, name: str) -> TimeSeries:
+        return self._series[name]
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self._series.clear()
+
+    def merge(self, other: "MetricsRecorder") -> None:
+        """Fold another recorder's samples into this one."""
+        for name, values in other._samples.items():
+            self._samples[name].extend(values)
+        for name, series in other._series.items():
+            mine = self._series[name]
+            for t, v in zip(series._times, series._values):
+                mine.append(t, v)

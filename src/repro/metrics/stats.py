@@ -1,0 +1,73 @@
+"""Summary statistics over latency samples.
+
+The paper reports medians (figs. 11–16); we additionally expose the
+usual percentiles so the harness can print richer rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+import numpy as np
+
+
+def median(samples: _t.Sequence[float]) -> float:
+    """Median of ``samples``; raises on empty input."""
+    if not samples:
+        raise ValueError("median of empty sample set")
+    return float(np.median(np.asarray(samples, dtype=float)))
+
+
+def percentile(samples: _t.Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) using linear interpolation."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a latency distribution (seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p25: float
+    p75: float
+    p95: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    def as_dict(self) -> dict[str, float]:
+        return dataclasses.asdict(self)
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} median={self.median * 1e3:.1f}ms "
+            f"mean={self.mean * 1e3:.1f}ms "
+            f"p95={self.p95 * 1e3:.1f}ms "
+            f"range=[{self.minimum * 1e3:.1f}, {self.maximum * 1e3:.1f}]ms"
+        )
+
+
+def summarize(samples: _t.Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` over ``samples``."""
+    if not samples:
+        raise ValueError("summarize of empty sample set")
+    arr = np.asarray(samples, dtype=float)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p25=float(np.percentile(arr, 25)),
+        p75=float(np.percentile(arr, 75)),
+        p95=float(np.percentile(arr, 95)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        stddev=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+    )

@@ -1,0 +1,80 @@
+"""Network device and interface abstractions.
+
+A :class:`NetDevice` (host or switch) owns one or more
+:class:`NetworkInterface` objects; each interface attaches to exactly
+one :class:`~repro.net.link.Link` endpoint.  Links call
+:meth:`NetDevice.receive` when a packet arrives.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.net.addressing import IPv4Address, MACAddress
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.link import LinkEndpoint
+    from repro.net.packet import Packet
+    from repro.sim import Environment
+
+
+class NetworkInterface:
+    """One attachment point of a device to a link."""
+
+    def __init__(
+        self,
+        device: "NetDevice",
+        mac: MACAddress,
+        ip: IPv4Address | None = None,
+        name: str = "eth0",
+    ) -> None:
+        self.device = device
+        self.mac = mac
+        self.ip = ip
+        self.name = name
+        self.endpoint: "LinkEndpoint | None" = None
+
+    @property
+    def attached(self) -> bool:
+        return self.endpoint is not None
+
+    def send(self, packet: "Packet") -> None:
+        """Queue ``packet`` for transmission on the attached link."""
+        if self.endpoint is None:
+            raise RuntimeError(f"{self} is not attached to a link")
+        self.endpoint.transmit(packet)
+
+    def deliver(self, packet: "Packet") -> None:
+        """Called by the link when a packet arrives here."""
+        self.device.receive(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Interface {self.device.name}:{self.name} {self.ip or self.mac}>"
+
+
+class NetDevice:
+    """Base class for hosts and switches."""
+
+    def __init__(self, env: "Environment", name: str) -> None:
+        self.env = env
+        self.name = name
+        self.interfaces: list[NetworkInterface] = []
+
+    def add_interface(
+        self,
+        mac: MACAddress,
+        ip: IPv4Address | None = None,
+        name: str | None = None,
+    ) -> NetworkInterface:
+        iface = NetworkInterface(
+            self, mac, ip, name=name or f"eth{len(self.interfaces)}"
+        )
+        self.interfaces.append(iface)
+        return iface
+
+    def receive(self, packet: "Packet", iface: NetworkInterface) -> None:
+        """Handle an arriving packet.  Subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,422 @@
+"""Hosts: endpoints with a TCP-handshake + HTTP request model.
+
+The connection model captures exactly what the paper's *timecurl*
+measurement observes:
+
+* ``connect`` performs a SYN / SYN-ACK / ACK exchange across the real
+  (simulated) network path — so a packet-in detour to the SDN
+  controller, or a held first packet during on-demand deployment,
+  delays it accordingly;
+* a SYN to a **closed** port is answered with RST (connection refused)
+  — the reason the paper's controller polls the service port before
+  installing flows;
+* requests and responses travel as payload bursts whose serialization
+  time reflects their size.
+
+``time_total`` = connect + request transfer + server handling +
+response transfer, matching Curl's definition used in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.device import NetDevice, NetworkInterface
+from repro.net.packet import (
+    HTTPRequest,
+    HTTPResponse,
+    Packet,
+    TCPFlags,
+    TCPSegment,
+)
+from repro.sim import Environment, Store
+
+_conn_ids = itertools.count(1)
+
+#: First ephemeral source port handed out by hosts.
+EPHEMERAL_BASE = 32768
+
+
+class ConnectionRefused(Exception):
+    """SYN answered by RST: no listener on the destination port."""
+
+
+class ConnectionTimeout(Exception):
+    """The peer did not answer within the caller's deadline."""
+
+
+class ConnectionReset(Exception):
+    """The established connection was torn down by the peer."""
+
+
+class HTTPResult(_t.NamedTuple):
+    """Outcome of :meth:`Host.http_request` (all times in seconds)."""
+
+    response: HTTPResponse
+    time_total: float
+    time_connect: float
+
+
+class Listener:
+    """A listening TCP port bound to an application handler."""
+
+    def __init__(self, port: int, app: "Application") -> None:
+        self.port = port
+        self.app = app
+
+
+class Application(_t.Protocol):
+    """Server-side request handler protocol.
+
+    ``handle`` is a generator (it may yield timeouts to model
+    processing latency) returning the :class:`HTTPResponse`.
+    """
+
+    def handle(
+        self, request: HTTPRequest
+    ) -> _t.Generator[_t.Any, _t.Any, HTTPResponse]: ...
+
+
+class Connection:
+    """One endpoint of an established TCP connection."""
+
+    def __init__(
+        self,
+        host: "Host",
+        conn_id: int,
+        local_port: int,
+        remote_ip: IPv4Address,
+        remote_port: int,
+        local_ip: IPv4Address | None = None,
+    ) -> None:
+        self.host = host
+        self.env = host.env
+        self.conn_id = conn_id
+        #: The IP this endpoint speaks as.  Normally the host's own
+        #: address; the cloud host answers from each service's address.
+        self.local_ip = local_ip if local_ip is not None else host.ip
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.incoming: Store = Store(host.env)
+        self.established = True
+        #: Source IP of the most recent packet received — tests use it
+        #: to assert transparency (the client must only ever see the
+        #: service's cloud address).
+        self.last_seen_remote_ip: IPv4Address | None = None
+
+    def send_payload(self, payload: _t.Any, payload_bytes: int) -> None:
+        """Transmit an application payload burst to the peer."""
+        if not self.established:
+            raise ConnectionReset(f"connection {self.conn_id} is closed")
+        self.host._send_segment(
+            self.remote_ip,
+            TCPSegment(
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                flags=TCPFlags.PSH | TCPFlags.ACK,
+                payload_bytes=payload_bytes,
+                payload=payload,
+                conn_id=self.conn_id,
+            ),
+            src_ip=self.local_ip,
+        )
+
+    def recv(self, timeout: float | None = None):
+        """Wait for the next payload (generator; raises on timeout/reset)."""
+        get_ev = self.incoming.get()
+        if timeout is None:
+            item = yield get_ev
+        else:
+            deadline = self.env.timeout(timeout)
+            yield get_ev | deadline
+            if not get_ev.triggered:
+                get_ev.cancel()
+                raise ConnectionTimeout(
+                    f"no data on connection {self.conn_id} within {timeout}s"
+                )
+            item = get_ev.value
+        if isinstance(item, ConnectionReset):
+            raise item
+        return item
+
+    def close(self) -> None:
+        """Tear down this endpoint (no FIN exchange is modelled)."""
+        self.established = False
+        self.host._connections.pop(self.conn_id, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Connection #{self.conn_id} {self.host.name}:{self.local_port}"
+            f" <-> {self.remote_ip}:{self.remote_port}>"
+        )
+
+
+class Host(NetDevice):
+    """An end host: client device, edge server, or cloud server."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        mac: MACAddress,
+        ip: IPv4Address,
+    ) -> None:
+        super().__init__(env, name)
+        self.iface = self.add_interface(mac, ip)
+        self.ip = ip
+        self._listeners: dict[int, Listener] = {}
+        self._connections: dict[int, Connection] = {}
+        #: Handshake waiters keyed by conn_id -> event fired with the
+        #: SYN-ACK (or failed with ConnectionRefused).
+        self._pending: dict[int, _t.Any] = {}
+        self._next_ephemeral = EPHEMERAL_BASE
+
+    # -- listener management ------------------------------------------------
+
+    def open_port(self, port: int, app: "Application") -> None:
+        """Start accepting connections on ``port``."""
+        if port in self._listeners:
+            raise ValueError(f"{self.name}: port {port} is already open")
+        self._listeners[port] = Listener(port, app)
+
+    def close_port(self, port: int) -> None:
+        """Stop accepting connections on ``port``."""
+        self._listeners.pop(port, None)
+
+    def port_is_open(self, port: int) -> bool:
+        return port in self._listeners
+
+    def _listener_for(self, ip: IPv4Address, port: int) -> Listener | None:
+        """Resolve the listener for a destination (hook for CloudHost)."""
+        return self._listeners.get(port)
+
+    # -- client side ----------------------------------------------------------
+
+    def connect(
+        self,
+        dst_ip: IPv4Address,
+        dst_port: int,
+        timeout: float | None = None,
+    ):
+        """Establish a connection (generator returning :class:`Connection`).
+
+        Raises :class:`ConnectionRefused` if the destination answers
+        with RST, :class:`ConnectionTimeout` if nothing answers within
+        ``timeout`` seconds.
+        """
+        conn_id = next(_conn_ids)
+        src_port = self._allocate_port()
+        reply_ev = self.env.event()
+        self._pending[conn_id] = reply_ev
+
+        self._send_segment(
+            dst_ip,
+            TCPSegment(
+                src_port=src_port,
+                dst_port=dst_port,
+                flags=TCPFlags.SYN,
+                conn_id=conn_id,
+            ),
+        )
+        try:
+            if timeout is None:
+                packet = yield reply_ev
+            else:
+                deadline = self.env.timeout(timeout)
+                yield reply_ev | deadline
+                if not reply_ev.triggered:
+                    raise ConnectionTimeout(
+                        f"connect to {dst_ip}:{dst_port} timed out after {timeout}s"
+                    )
+                packet = reply_ev.value
+        finally:
+            self._pending.pop(conn_id, None)
+
+        conn = Connection(self, conn_id, src_port, dst_ip, dst_port)
+        conn.last_seen_remote_ip = packet.ip_src
+        self._connections[conn_id] = conn
+        # Final ACK of the three-way handshake.
+        self._send_segment(
+            dst_ip,
+            TCPSegment(
+                src_port=src_port,
+                dst_port=dst_port,
+                flags=TCPFlags.ACK,
+                conn_id=conn_id,
+            ),
+        )
+        return conn
+
+    def http_request(
+        self,
+        dst_ip: IPv4Address,
+        dst_port: int,
+        request: HTTPRequest,
+        timeout: float | None = None,
+    ):
+        """Issue one HTTP request (generator returning :class:`HTTPResult`).
+
+        Implements the paper's *timecurl* measurement: ``time_total``
+        spans from the start of the TCP connect to the arrival of the
+        complete response.
+        """
+        start = self.env.now
+        conn = yield from self.connect(dst_ip, dst_port, timeout=timeout)
+        time_connect = self.env.now - start
+        try:
+            conn.send_payload(request, request.total_bytes)
+            remaining = None
+            if timeout is not None:
+                remaining = max(0.0, timeout - (self.env.now - start))
+            response = yield from conn.recv(timeout=remaining)
+        finally:
+            conn.close()
+        if not isinstance(response, HTTPResponse):
+            raise TypeError(f"expected HTTPResponse, got {response!r}")
+        return HTTPResult(
+            response=response,
+            time_total=self.env.now - start,
+            time_connect=time_connect,
+        )
+
+    def probe_port(self, dst_ip: IPv4Address, dst_port: int, timeout: float = 1.0):
+        """TCP-connect probe (generator returning bool: port open?)."""
+        try:
+            conn = yield from self.connect(dst_ip, dst_port, timeout=timeout)
+        except (ConnectionRefused, ConnectionTimeout):
+            return False
+        conn.close()
+        return True
+
+    # -- packet processing -------------------------------------------------------
+
+    def receive(self, packet: Packet, iface: NetworkInterface) -> None:
+        seg = packet.tcp
+
+        # Handshake replies for connections we initiated.
+        if seg.flags & TCPFlags.RST:
+            pending = self._pending.get(seg.conn_id)
+            if pending is not None and not pending.triggered:
+                pending.fail(
+                    ConnectionRefused(
+                        f"connection to {packet.ip_src}:{seg.src_port} refused"
+                    )
+                )
+                return
+            conn = self._connections.get(seg.conn_id)
+            if conn is not None:
+                conn.incoming.put(ConnectionReset("peer reset the connection"))
+            return
+
+        if seg.flags & TCPFlags.SYN and seg.flags & TCPFlags.ACK:
+            pending = self._pending.get(seg.conn_id)
+            if pending is not None and not pending.triggered:
+                pending.succeed(packet)
+            return
+
+        if seg.flags & TCPFlags.SYN:
+            self._handle_syn(packet)
+            return
+
+        conn = self._connections.get(seg.conn_id)
+        if conn is None:
+            # ACK finishing a handshake for a server-side connection we
+            # already created, or stray traffic: ignore.
+            return
+        conn.last_seen_remote_ip = packet.ip_src
+        if seg.payload is not None:
+            if isinstance(seg.payload, HTTPRequest):
+                self._serve_request(conn, seg.payload)
+            else:
+                conn.incoming.put(seg.payload)
+
+    def _handle_syn(self, packet: Packet) -> None:
+        seg = packet.tcp
+        listener = self._listener_for(packet.ip_dst, seg.dst_port)
+        if listener is None:
+            # Closed port: refuse.  This is what the client hits if the
+            # controller were to forward the request before the service
+            # finished starting.
+            self._send_segment(
+                packet.ip_src,
+                TCPSegment(
+                    src_port=seg.dst_port,
+                    dst_port=seg.src_port,
+                    flags=TCPFlags.RST,
+                    conn_id=seg.conn_id,
+                ),
+                src_ip=packet.ip_dst,
+            )
+            return
+        conn = Connection(
+            self,
+            seg.conn_id,
+            seg.dst_port,
+            packet.ip_src,
+            seg.src_port,
+            local_ip=packet.ip_dst,
+        )
+        conn.last_seen_remote_ip = packet.ip_src
+        self._connections[seg.conn_id] = conn
+        self._send_segment(
+            packet.ip_src,
+            TCPSegment(
+                src_port=seg.dst_port,
+                dst_port=seg.src_port,
+                flags=TCPFlags.SYN | TCPFlags.ACK,
+                conn_id=seg.conn_id,
+            ),
+            src_ip=conn.local_ip,
+        )
+
+    def _serve_request(self, conn: Connection, request: HTTPRequest) -> None:
+        listener = self._listener_for(conn.local_ip, conn.local_port)
+        if listener is None:
+            # Port closed between handshake and request.
+            self._send_segment(
+                conn.remote_ip,
+                TCPSegment(
+                    src_port=conn.local_port,
+                    dst_port=conn.remote_port,
+                    flags=TCPFlags.RST,
+                    conn_id=conn.conn_id,
+                ),
+                src_ip=conn.local_ip,
+            )
+            return
+        self.env.process(
+            self._run_handler(listener.app, conn, request),
+            name=f"{self.name}:handler:{conn.conn_id}",
+        )
+
+    def _run_handler(self, app: "Application", conn: Connection, request: HTTPRequest):
+        response = yield from app.handle(request)
+        if conn.established:
+            conn.send_payload(response, response.total_bytes)
+
+    # -- low level ------------------------------------------------------------------
+
+    def _send_segment(
+        self,
+        dst_ip: IPv4Address,
+        segment: TCPSegment,
+        src_ip: IPv4Address | None = None,
+    ) -> None:
+        packet = Packet(
+            eth_src=self.iface.mac,
+            eth_dst=MACAddress(0xFFFFFFFFFFFF),
+            ip_src=src_ip if src_ip is not None else self.ip,
+            ip_dst=dst_ip,
+            tcp=segment,
+        )
+        self.iface.send(packet)
+
+    def _allocate_port(self) -> int:
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        if self._next_ephemeral > 60999:
+            self._next_ephemeral = EPHEMERAL_BASE
+        return port

@@ -1,0 +1,87 @@
+"""Point-to-point links with latency and bandwidth.
+
+Each direction of a link is an independent FIFO transmitter: packets
+serialize at the link's bandwidth one after another, then propagate for
+the link's latency.  This reproduces the store-and-forward behaviour
+of the testbed's switched Ethernet without per-byte events.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.sim import Environment, Store
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.device import NetworkInterface
+    from repro.net.packet import Packet
+
+#: Convenience bandwidth constants (bits per second).
+GBPS = 1_000_000_000
+MBPS = 1_000_000
+
+
+class LinkEndpoint:
+    """One side of a link; owns the transmit queue for its direction."""
+
+    def __init__(self, link: "Link", iface: "NetworkInterface") -> None:
+        self.link = link
+        self.iface = iface
+        self.peer: "LinkEndpoint | None" = None
+        self._queue: Store = Store(link.env)
+        link.env.process(self._transmitter(), name=f"link-tx:{iface}")
+
+    def transmit(self, packet: "Packet") -> None:
+        """Enqueue a packet for transmission towards the peer."""
+        self._queue.put(packet)
+
+    def _transmitter(self):
+        env = self.link.env
+        while True:
+            packet = yield self._queue.get()
+            # Serialization at line rate, then propagation.
+            yield env.timeout(packet.wire_size * 8 / self.link.bandwidth_bps)
+            env.process(self._propagate(packet), name="link-prop")
+
+    def _propagate(self, packet: "Packet"):
+        env = self.link.env
+        yield env.timeout(self.link.latency_s)
+        peer = self.peer
+        if peer is not None and not self.link.down:
+            peer.iface.deliver(packet)
+
+
+class Link:
+    """A bidirectional point-to-point link between two interfaces."""
+
+    def __init__(
+        self,
+        env: Environment,
+        a: "NetworkInterface",
+        b: "NetworkInterface",
+        bandwidth_bps: float = GBPS,
+        latency_s: float = 50e-6,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self.env = env
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        #: Administrative state; a downed link silently drops packets,
+        #: used by failure-injection tests.
+        self.down = False
+
+        self.end_a = LinkEndpoint(self, a)
+        self.end_b = LinkEndpoint(self, b)
+        self.end_a.peer = self.end_b
+        self.end_b.peer = self.end_a
+        a.endpoint = self.end_a
+        b.endpoint = self.end_b
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Link {self.end_a.iface.device.name}<->{self.end_b.iface.device.name} "
+            f"{self.bandwidth_bps / 1e9:g}Gbps {self.latency_s * 1e6:g}us>"
+        )

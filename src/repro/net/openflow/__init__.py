@@ -1,0 +1,39 @@
+"""OpenFlow data plane: matches, actions, flow tables, and the switch.
+
+Models the OpenFlow 1.5 subset the paper's transparent-access approach
+relies on (packet filtering and rewriting, fig. 2): priority-ordered
+exact/wildcard matches on the IPv4/TCP 4-tuple, *set-field* rewrite
+actions, output actions, packet-in with buffering, flow-mod,
+packet-out, and idle/hard timeouts with flow-removed notifications.
+"""
+
+from repro.net.openflow.match import FlowMatch
+from repro.net.openflow.actions import Drop, Output, SetField, ToController
+from repro.net.openflow.table import FlowEntry, FlowTable
+from repro.net.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    FlowMod,
+    FlowRemoved,
+    PacketIn,
+    PacketOut,
+)
+from repro.net.openflow.switch import ControlChannel, OpenFlowSwitch
+
+__all__ = [
+    "BarrierReply",
+    "BarrierRequest",
+    "ControlChannel",
+    "Drop",
+    "FlowEntry",
+    "FlowMatch",
+    "FlowMod",
+    "FlowRemoved",
+    "FlowTable",
+    "OpenFlowSwitch",
+    "Output",
+    "PacketIn",
+    "PacketOut",
+    "SetField",
+    "ToController",
+]

@@ -1,0 +1,81 @@
+"""OpenFlow actions.
+
+Actions are applied in list order; *set-field* rewrites happen before
+a subsequent *output*, which is how the transparent redirection
+rewrites the destination (client → edge) and the source (edge →
+client) addresses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.packet import Packet, TCPSegment
+
+#: Fields a :class:`SetField` action may rewrite.
+REWRITABLE_FIELDS = frozenset(
+    {"eth_src", "eth_dst", "ip_src", "ip_dst", "tcp_src", "tcp_dst"}
+)
+
+
+class Action:
+    """Base class; concrete actions are plain frozen dataclasses."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Output(Action):
+    """Forward the packet out of a switch port."""
+
+    port: int
+
+    def __str__(self) -> str:
+        return f"output:{self.port}"
+
+
+@dataclasses.dataclass(frozen=True)
+class SetField(Action):
+    """Rewrite one header field."""
+
+    field: str
+    value: _t.Any
+
+    def __post_init__(self) -> None:
+        if self.field not in REWRITABLE_FIELDS:
+            raise ValueError(f"cannot rewrite field {self.field!r}")
+
+    def apply(self, packet: Packet) -> None:
+        if self.field in ("eth_src", "eth_dst"):
+            if not isinstance(self.value, MACAddress):
+                raise TypeError(f"{self.field} needs a MACAddress")
+            setattr(packet, self.field, self.value)
+        elif self.field in ("ip_src", "ip_dst"):
+            if not isinstance(self.value, IPv4Address):
+                raise TypeError(f"{self.field} needs an IPv4Address")
+            setattr(packet, self.field, self.value)
+        else:  # tcp_src / tcp_dst
+            seg = packet.tcp
+            if self.field == "tcp_src":
+                packet.tcp = dataclasses.replace(seg, src_port=int(self.value))
+            else:
+                packet.tcp = dataclasses.replace(seg, dst_port=int(self.value))
+
+    def __str__(self) -> str:
+        return f"set_field:{self.field}={self.value}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ToController(Action):
+    """Punt the packet to the controller (buffered packet-in)."""
+
+    def __str__(self) -> str:
+        return "controller"
+
+
+@dataclasses.dataclass(frozen=True)
+class Drop(Action):
+    """Discard the packet."""
+
+    def __str__(self) -> str:
+        return "drop"

@@ -1,0 +1,56 @@
+"""Flow match expressions.
+
+A :class:`FlowMatch` is a conjunction of field equalities; ``None``
+means wildcard.  The transparent-edge controller matches on the
+(ip_src, ip_dst, tcp_dst) combination: destination identifies the
+registered service, source identifies the client.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.net.addressing import IPv4Address
+from repro.net.packet import Packet
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowMatch:
+    """Match on any subset of the IPv4/TCP 4-tuple."""
+
+    ip_src: IPv4Address | None = None
+    ip_dst: IPv4Address | None = None
+    tcp_src: int | None = None
+    tcp_dst: int | None = None
+
+    def matches(self, packet: Packet) -> bool:
+        if self.ip_src is not None and packet.ip_src != self.ip_src:
+            return False
+        if self.ip_dst is not None and packet.ip_dst != self.ip_dst:
+            return False
+        if self.tcp_src is not None and packet.tcp.src_port != self.tcp_src:
+            return False
+        if self.tcp_dst is not None and packet.tcp.dst_port != self.tcp_dst:
+            return False
+        return True
+
+    @property
+    def specificity(self) -> int:
+        """Number of concrete fields (used only for diagnostics)."""
+        return sum(
+            field is not None
+            for field in (self.ip_src, self.ip_dst, self.tcp_src, self.tcp_dst)
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        for name in ("ip_src", "ip_dst", "tcp_src", "tcp_dst"):
+            value = getattr(self, name)
+            if value is not None:
+                parts.append(f"{name}={value}")
+        return "match(" + ", ".join(parts or ["*"]) + ")"
+
+
+#: The match-everything wildcard.
+MATCH_ALL = FlowMatch()

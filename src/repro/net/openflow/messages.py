@@ -1,0 +1,135 @@
+"""Control-channel messages between switch and controller."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as _t
+
+from repro.net.openflow.actions import Action
+from repro.net.openflow.match import FlowMatch
+from repro.net.packet import Packet
+
+_xids = itertools.count(1)
+
+
+def next_xid() -> int:
+    return next(_xids)
+
+
+@dataclasses.dataclass
+class PacketIn:
+    """Switch → controller: a packet punted to the control plane.
+
+    The full packet accompanies the message (as with OFPCML_NO_BUFFER)
+    *and* it stays buffered on the switch under ``buffer_id`` so the
+    controller can later release exactly the held packet — this is the
+    mechanism behind *on-demand deployment with waiting*.
+    """
+
+    datapath_id: int
+    buffer_id: int
+    packet: Packet
+    in_port: int
+    reason: str = "no_match"
+
+
+@dataclasses.dataclass
+class FlowMod:
+    """Controller → switch: add or delete flow entries."""
+
+    command: str  # "add" | "delete"
+    match: FlowMatch | None = None
+    actions: _t.Sequence[Action] = ()
+    priority: int = 1
+    idle_timeout: float = 0.0
+    hard_timeout: float = 0.0
+    cookie: _t.Any = None
+    notify_removal: bool = True
+    #: If set on an "add", the buffered packet is run through the new
+    #: entry's actions immediately after installation.
+    buffer_id: int | None = None
+    xid: int = dataclasses.field(default_factory=next_xid)
+
+    def __post_init__(self) -> None:
+        if self.command not in ("add", "delete"):
+            raise ValueError(f"unknown FlowMod command {self.command!r}")
+
+
+@dataclasses.dataclass
+class PacketOut:
+    """Controller → switch: emit a packet through the given actions.
+
+    Either releases a buffered packet (``buffer_id``) or carries a
+    controller-crafted packet (``packet``).
+    """
+
+    actions: _t.Sequence[Action]
+    buffer_id: int | None = None
+    packet: Packet | None = None
+    in_port: int | None = None
+    xid: int = dataclasses.field(default_factory=next_xid)
+
+    def __post_init__(self) -> None:
+        if (self.buffer_id is None) == (self.packet is None):
+            raise ValueError("exactly one of buffer_id / packet must be given")
+
+
+@dataclasses.dataclass
+class FlowRemoved:
+    """Switch → controller: an entry expired or was deleted."""
+
+    datapath_id: int
+    match: FlowMatch
+    cookie: _t.Any
+    reason: str
+    priority: int
+    packet_count: int
+
+
+@dataclasses.dataclass
+class FlowStatsRequest:
+    """Controller → switch: read statistics of matching entries."""
+
+    match: FlowMatch | None = None
+    cookie: _t.Any = None
+    #: Restrict to cookies with this string prefix (convenience the
+    #: edge controller uses to select its redirect flows).
+    cookie_prefix: str | None = None
+    xid: int = dataclasses.field(default_factory=next_xid)
+
+
+@dataclasses.dataclass
+class FlowStatEntry:
+    """One entry's statistics snapshot."""
+
+    match: FlowMatch
+    cookie: _t.Any
+    priority: int
+    packet_count: int
+    installed_at: float
+    last_used: float
+
+
+@dataclasses.dataclass
+class FlowStatsReply:
+    """Switch → controller: the requested statistics."""
+
+    datapath_id: int
+    xid: int
+    stats: list[FlowStatEntry]
+
+
+@dataclasses.dataclass
+class BarrierRequest:
+    """Controller → switch: fence message ordering."""
+
+    xid: int = dataclasses.field(default_factory=next_xid)
+
+
+@dataclasses.dataclass
+class BarrierReply:
+    """Switch → controller: all prior messages have been processed."""
+
+    datapath_id: int
+    xid: int

@@ -1,0 +1,280 @@
+"""The OpenFlow switch datapath and its control channel."""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+
+from repro.net.device import NetDevice, NetworkInterface
+from repro.net.openflow.actions import Action, Drop, Output, SetField, ToController
+from repro.net.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    FlowMod,
+    FlowRemoved,
+    FlowStatEntry,
+    FlowStatsReply,
+    FlowStatsRequest,
+    PacketIn,
+    PacketOut,
+)
+from repro.net.openflow.table import FlowEntry, FlowTable, REASON_DELETE
+from repro.net.packet import Packet
+from repro.sim import Environment, Store
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sdnfw.app import SDNApp
+
+
+class ControlChannel:
+    """Ordered, latency-modelled message pipe between switch and controller.
+
+    Both directions preserve FIFO order (a TCP control connection in
+    the real system); each message is delayed by ``latency_s``.
+    """
+
+    def __init__(self, env: Environment, latency_s: float = 200e-6) -> None:
+        if latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        self.env = env
+        self.latency_s = float(latency_s)
+        self.switch: "OpenFlowSwitch | None" = None
+        self.controller: "SDNApp | None" = None
+        self._to_controller: Store = Store(env)
+        self._to_switch: Store = Store(env)
+        env.process(self._pump_to_controller(), name="chan-up")
+        env.process(self._pump_to_switch(), name="chan-down")
+
+    def bind(self, switch: "OpenFlowSwitch", controller: "SDNApp") -> None:
+        self.switch = switch
+        self.controller = controller
+
+    def send_to_controller(self, message: _t.Any) -> None:
+        self._to_controller.put(message)
+
+    def send_to_switch(self, message: _t.Any) -> None:
+        self._to_switch.put(message)
+
+    def _pump_to_controller(self):
+        while True:
+            message = yield self._to_controller.get()
+            yield self.env.timeout(self.latency_s)
+            if self.controller is not None and self.switch is not None:
+                self.controller.dispatch_switch_message(self.switch, message)
+
+    def _pump_to_switch(self):
+        while True:
+            message = yield self._to_switch.get()
+            yield self.env.timeout(self.latency_s)
+            if self.switch is not None:
+                self.switch.handle_controller_message(message)
+
+
+class OpenFlowSwitch(NetDevice):
+    """A single-table OpenFlow switch (the testbed's virtual OVS).
+
+    Packets are matched against the flow table after a small lookup
+    delay; misses (or explicit *ToController* actions) are buffered and
+    punted to the controller as packet-in messages.  The buffered
+    packet is released later by a flow-mod carrying its ``buffer_id``
+    or an explicit packet-out — the "held request" of on-demand
+    deployment with waiting.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        datapath_id: int,
+        lookup_delay_s: float = 10e-6,
+        expiry_sweep_interval_s: float = 0.25,
+    ) -> None:
+        super().__init__(env, name)
+        self.datapath_id = datapath_id
+        self.lookup_delay_s = float(lookup_delay_s)
+        self.table = FlowTable()
+        self.channel: ControlChannel | None = None
+        self._ports: dict[int, NetworkInterface] = {}
+        self._port_numbers: dict[NetworkInterface, int] = {}
+        self._next_port = itertools.count(1)
+        self._buffers: dict[int, tuple[Packet, int]] = {}
+        self._next_buffer = itertools.count(1)
+        #: Counters for tests and diagnostics.
+        self.stats = {"rx": 0, "tx": 0, "miss": 0, "drop": 0, "punt": 0}
+        env.process(self._expiry_sweeper(expiry_sweep_interval_s), name=f"{name}-sweep")
+
+    # -- ports -----------------------------------------------------------
+
+    def add_port(self, mac) -> tuple[int, NetworkInterface]:
+        """Create a new switch port; returns (port_no, interface)."""
+        port_no = next(self._next_port)
+        iface = self.add_interface(mac, ip=None, name=f"port{port_no}")
+        self._ports[port_no] = iface
+        self._port_numbers[iface] = port_no
+        return port_no, iface
+
+    def port_of(self, iface: NetworkInterface) -> int:
+        return self._port_numbers[iface]
+
+    # -- data plane ---------------------------------------------------------
+
+    def receive(self, packet: Packet, iface: NetworkInterface) -> None:
+        self.stats["rx"] += 1
+        in_port = self._port_numbers[iface]
+        self.env.process(self._pipeline(packet, in_port), name=f"{self.name}-pipe")
+
+    def _pipeline(self, packet: Packet, in_port: int):
+        yield self.env.timeout(self.lookup_delay_s)
+        entry = self.table.lookup(packet)
+        if entry is None:
+            self.stats["miss"] += 1
+            self._punt(packet, in_port, reason="no_match")
+            return
+        entry.touch(self.env.now)
+        self._apply_actions(entry.actions, packet, in_port)
+
+    def _apply_actions(
+        self, actions: _t.Sequence[Action], packet: Packet, in_port: int
+    ) -> None:
+        for action in actions:
+            if isinstance(action, SetField):
+                action.apply(packet)
+            elif isinstance(action, Output):
+                self._output(packet, action.port)
+            elif isinstance(action, ToController):
+                self._punt(packet, in_port, reason="action")
+            elif isinstance(action, Drop):
+                self.stats["drop"] += 1
+                return
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown action {action!r}")
+
+    def _output(self, packet: Packet, port: int) -> None:
+        iface = self._ports.get(port)
+        if iface is None or not iface.attached:
+            self.stats["drop"] += 1
+            return
+        self.stats["tx"] += 1
+        iface.send(packet)
+
+    def _punt(self, packet: Packet, in_port: int, reason: str) -> None:
+        if self.channel is None:
+            self.stats["drop"] += 1
+            return
+        self.stats["punt"] += 1
+        buffer_id = next(self._next_buffer)
+        self._buffers[buffer_id] = (packet, in_port)
+        self.channel.send_to_controller(
+            PacketIn(
+                datapath_id=self.datapath_id,
+                buffer_id=buffer_id,
+                packet=packet,
+                in_port=in_port,
+                reason=reason,
+            )
+        )
+
+    # -- control plane -----------------------------------------------------------
+
+    def handle_controller_message(self, message: _t.Any) -> None:
+        if isinstance(message, FlowMod):
+            self._handle_flow_mod(message)
+        elif isinstance(message, PacketOut):
+            self._handle_packet_out(message)
+        elif isinstance(message, FlowStatsRequest):
+            self._handle_flow_stats(message)
+        elif isinstance(message, BarrierRequest):
+            if self.channel is not None:
+                self.channel.send_to_controller(
+                    BarrierReply(datapath_id=self.datapath_id, xid=message.xid)
+                )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown controller message {message!r}")
+
+    def _handle_flow_mod(self, mod: FlowMod) -> None:
+        if mod.command == "add":
+            if mod.match is None:
+                raise ValueError("FlowMod add requires a match")
+            entry = FlowEntry(
+                match=mod.match,
+                actions=mod.actions,
+                priority=mod.priority,
+                idle_timeout=mod.idle_timeout,
+                hard_timeout=mod.hard_timeout,
+                cookie=mod.cookie,
+                notify_removal=mod.notify_removal,
+            )
+            self.table.install(entry, self.env.now)
+            if mod.buffer_id is not None:
+                self._release_buffer(mod.buffer_id, entry.actions)
+        else:  # delete
+            removed = self.table.remove_matching(
+                match=mod.match, cookie=mod.cookie
+            )
+            for entry in removed:
+                self._notify_removed(entry, REASON_DELETE)
+
+    def _handle_flow_stats(self, request: FlowStatsRequest) -> None:
+        if self.channel is None:
+            return
+        stats: list[FlowStatEntry] = []
+        for entry in self.table:
+            if request.match is not None and entry.match != request.match:
+                continue
+            if request.cookie is not None and entry.cookie != request.cookie:
+                continue
+            if request.cookie_prefix is not None and not str(
+                entry.cookie or ""
+            ).startswith(request.cookie_prefix):
+                continue
+            stats.append(
+                FlowStatEntry(
+                    match=entry.match,
+                    cookie=entry.cookie,
+                    priority=entry.priority,
+                    packet_count=entry.packet_count,
+                    installed_at=entry.installed_at,
+                    last_used=entry.last_used,
+                )
+            )
+        self.channel.send_to_controller(
+            FlowStatsReply(
+                datapath_id=self.datapath_id, xid=request.xid, stats=stats
+            )
+        )
+
+    def _handle_packet_out(self, out: PacketOut) -> None:
+        if out.buffer_id is not None:
+            self._release_buffer(out.buffer_id, out.actions)
+        else:
+            packet = _t.cast(Packet, out.packet)
+            self._apply_actions(out.actions, packet, out.in_port or 0)
+
+    def _release_buffer(
+        self, buffer_id: int, actions: _t.Sequence[Action]
+    ) -> None:
+        held = self._buffers.pop(buffer_id, None)
+        if held is None:
+            return
+        packet, in_port = held
+        self._apply_actions(actions, packet, in_port)
+
+    def _notify_removed(self, entry: FlowEntry, reason: str) -> None:
+        if self.channel is None or not entry.notify_removal:
+            return
+        self.channel.send_to_controller(
+            FlowRemoved(
+                datapath_id=self.datapath_id,
+                match=entry.match,
+                cookie=entry.cookie,
+                reason=reason,
+                priority=entry.priority,
+                packet_count=entry.packet_count,
+            )
+        )
+
+    def _expiry_sweeper(self, interval: float):
+        while True:
+            yield self.env.timeout(interval)
+            for entry, reason in self.table.sweep_expired(self.env.now):
+                self._notify_removed(entry, reason)

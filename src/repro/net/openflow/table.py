@@ -1,0 +1,143 @@
+"""Flow entries and the priority-ordered flow table."""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+
+from repro.net.openflow.actions import Action
+from repro.net.openflow.match import FlowMatch
+from repro.net.packet import Packet
+
+_entry_ids = itertools.count(1)
+
+#: FlowRemoved reason codes (mirrors OpenFlow).
+REASON_IDLE_TIMEOUT = "idle_timeout"
+REASON_HARD_TIMEOUT = "hard_timeout"
+REASON_DELETE = "delete"
+
+
+class FlowEntry:
+    """One rule: match → actions, with priority and timeouts.
+
+    ``idle_timeout`` / ``hard_timeout`` of 0 mean "never expires", as
+    in OpenFlow.  The paper's design keeps switch idle timeouts *low*
+    (the controller's FlowMemory re-installs known flows quickly) so
+    the table stays small.
+    """
+
+    def __init__(
+        self,
+        match: FlowMatch,
+        actions: _t.Sequence[Action],
+        priority: int = 1,
+        idle_timeout: float = 0.0,
+        hard_timeout: float = 0.0,
+        cookie: _t.Any = None,
+        notify_removal: bool = True,
+    ) -> None:
+        if idle_timeout < 0 or hard_timeout < 0:
+            raise ValueError("timeouts must be >= 0")
+        self.entry_id = next(_entry_ids)
+        self.match = match
+        self.actions = list(actions)
+        self.priority = priority
+        self.idle_timeout = float(idle_timeout)
+        self.hard_timeout = float(hard_timeout)
+        self.cookie = cookie
+        self.notify_removal = notify_removal
+        self.installed_at: float = 0.0
+        self.last_used: float = 0.0
+        self.packet_count: int = 0
+
+    def touch(self, now: float) -> None:
+        self.last_used = now
+        self.packet_count += 1
+
+    def expired(self, now: float) -> str | None:
+        """Return the expiry reason, or ``None`` if still live."""
+        if self.hard_timeout and now - self.installed_at >= self.hard_timeout:
+            return REASON_HARD_TIMEOUT
+        if self.idle_timeout and now - self.last_used >= self.idle_timeout:
+            return REASON_IDLE_TIMEOUT
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        acts = ", ".join(str(a) for a in self.actions)
+        return f"<FlowEntry #{self.entry_id} p{self.priority} {self.match} -> [{acts}]>"
+
+
+class FlowTable:
+    """A single OpenFlow table, ordered by descending priority.
+
+    Insertion order breaks priority ties (first installed wins), which
+    keeps lookups deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[FlowEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> _t.Iterator[FlowEntry]:
+        return iter(self._entries)
+
+    def install(self, entry: FlowEntry, now: float) -> None:
+        entry.installed_at = now
+        entry.last_used = now
+        # Stable insert before the first strictly-lower priority.
+        index = len(self._entries)
+        for i, existing in enumerate(self._entries):
+            if existing.priority < entry.priority:
+                index = i
+                break
+        self._entries.insert(index, entry)
+
+    def lookup(self, packet: Packet) -> FlowEntry | None:
+        """Highest-priority matching entry, or ``None`` (table miss)."""
+        for entry in self._entries:
+            if entry.match.matches(packet):
+                return entry
+        return None
+
+    def remove(self, entry: FlowEntry) -> bool:
+        try:
+            self._entries.remove(entry)
+            return True
+        except ValueError:
+            return False
+
+    def remove_matching(
+        self,
+        match: FlowMatch | None = None,
+        cookie: _t.Any = None,
+        priority: int | None = None,
+    ) -> list[FlowEntry]:
+        """Remove entries by exact match / cookie / priority filters."""
+        removed = []
+        kept = []
+        for entry in self._entries:
+            hit = True
+            if match is not None and entry.match != match:
+                hit = False
+            if cookie is not None and entry.cookie != cookie:
+                hit = False
+            if priority is not None and entry.priority != priority:
+                hit = False
+            (removed if hit else kept).append(entry)
+        self._entries = kept
+        return removed
+
+    def sweep_expired(self, now: float) -> list[tuple[FlowEntry, str]]:
+        """Remove and return all expired entries with their reason."""
+        expired: list[tuple[FlowEntry, str]] = []
+        kept: list[FlowEntry] = []
+        for entry in self._entries:
+            reason = entry.expired(now)
+            if reason is None:
+                kept.append(entry)
+            else:
+                expired.append((entry, reason))
+        self._entries = kept
+        return expired

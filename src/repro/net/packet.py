@@ -1,0 +1,127 @@
+"""Packet and payload types.
+
+A :class:`Packet` carries Ethernet/IPv4/TCP headers plus an optional
+application payload.  Data volume is modelled, not byte content: every
+packet has a ``wire_size`` used by links to compute serialization
+delay, and HTTP payloads declare their size in bytes.
+
+Large transfers are modelled as a single "burst" segment whose size is
+the full byte count — the bottleneck-link serialization time then
+approximates streaming throughput without simulating every MSS-sized
+segment (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+import typing as _t
+
+from repro.net.addressing import IPv4Address, MACAddress
+
+#: Ethernet + IPv4 + TCP header overhead per packet, in bytes.
+HEADER_BYTES = 66
+
+
+class TCPFlags(enum.Flag):
+    """The TCP flag subset the connection model uses."""
+
+    NONE = 0
+    SYN = enum.auto()
+    ACK = enum.auto()
+    FIN = enum.auto()
+    RST = enum.auto()
+    PSH = enum.auto()
+
+
+@dataclasses.dataclass(frozen=True)
+class HTTPRequest:
+    """An application-layer request (content size only, no bytes)."""
+
+    method: str
+    path: str
+    body_bytes: int = 0
+    header_bytes: int = 200
+
+    @property
+    def total_bytes(self) -> int:
+        return self.body_bytes + self.header_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class HTTPResponse:
+    """An application-layer response."""
+
+    status: int
+    body_bytes: int = 0
+    header_bytes: int = 200
+
+    @property
+    def total_bytes(self) -> int:
+        return self.body_bytes + self.header_bytes
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+@dataclasses.dataclass(frozen=True)
+class TCPSegment:
+    """TCP header fields plus payload metadata."""
+
+    src_port: int
+    dst_port: int
+    flags: TCPFlags
+    payload_bytes: int = 0
+    payload: _t.Any = None
+    #: Connection identifier assigned by the initiating host; lets the
+    #: endpoints demultiplex without modelling sequence numbers.
+    conn_id: int = 0
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class Packet:
+    """A simulated Ethernet/IPv4/TCP packet.
+
+    Mutable on purpose: OpenFlow *set-field* actions rewrite header
+    fields in place as the packet traverses a switch, exactly like the
+    paper's transparent redirection does.
+    """
+
+    eth_src: MACAddress
+    eth_dst: MACAddress
+    ip_src: IPv4Address
+    ip_dst: IPv4Address
+    tcp: TCPSegment
+    packet_id: int = dataclasses.field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire: headers plus payload."""
+        return HEADER_BYTES + self.tcp.payload_bytes
+
+    def flow_key(self) -> tuple:
+        """The 5-tuple-ish key used for exact-match flow rules."""
+        return (self.ip_src, self.ip_dst, self.tcp.src_port, self.tcp.dst_port)
+
+    def copy(self) -> "Packet":
+        """A fresh packet with the same headers (new identity)."""
+        return Packet(
+            eth_src=self.eth_src,
+            eth_dst=self.eth_dst,
+            ip_src=self.ip_src,
+            ip_dst=self.ip_dst,
+            tcp=self.tcp,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flags = self.tcp.flags.name or "NONE"
+        return (
+            f"<Packet #{self.packet_id} {self.ip_src}:{self.tcp.src_port} -> "
+            f"{self.ip_dst}:{self.tcp.dst_port} [{flags}] "
+            f"{self.tcp.payload_bytes}B>"
+        )

@@ -1,0 +1,117 @@
+"""Topology builder: declarative wiring of hosts, switches, and links.
+
+A convenience layer over the raw :class:`~repro.net.host.Host` /
+:class:`~repro.net.openflow.switch.OpenFlowSwitch` /
+:class:`~repro.net.link.Link` objects, handling address allocation and
+port bookkeeping.  The C³ testbed and the test suite build their
+topologies through the same primitives.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.net.addressing import IPAllocator, IPv4Address, MACAllocator
+from repro.net.cloud import CloudHost
+from repro.net.device import NetworkInterface
+from repro.net.host import Host
+from repro.net.link import GBPS, Link
+from repro.net.openflow.switch import OpenFlowSwitch
+from repro.sim import Environment
+
+
+class NetworkBuilder:
+    """Builds a network incrementally with automatic addressing."""
+
+    def __init__(
+        self,
+        env: Environment,
+        ip_base: str = "10.0.0.0",
+    ) -> None:
+        self.env = env
+        self.ips = IPAllocator(ip_base)
+        self.macs = MACAllocator()
+        self.hosts: dict[str, Host] = {}
+        self.switches: dict[str, OpenFlowSwitch] = {}
+        #: (switch name, attached host name) -> switch port number.
+        self.ports: dict[tuple[str, str], int] = {}
+        self._next_dpid = 1
+
+    # -- nodes ------------------------------------------------------------
+
+    def host(self, name: str, ip: str | None = None) -> Host:
+        """Create a host (optionally with a fixed IP)."""
+        if name in self.hosts:
+            raise ValueError(f"host {name!r} already exists")
+        address = IPv4Address.parse(ip) if ip else self.ips.allocate()
+        created = Host(self.env, name, self.macs.allocate(), address)
+        self.hosts[name] = created
+        return created
+
+    def cloud(self, name: str = "cloud", ip: str = "198.51.100.1") -> CloudHost:
+        """Create a cloud host answering on arbitrary service addresses."""
+        if name in self.hosts:
+            raise ValueError(f"host {name!r} already exists")
+        created = CloudHost(
+            self.env, name, self.macs.allocate(), IPv4Address.parse(ip)
+        )
+        self.hosts[name] = created
+        return created
+
+    def switch(self, name: str) -> OpenFlowSwitch:
+        if name in self.switches:
+            raise ValueError(f"switch {name!r} already exists")
+        created = OpenFlowSwitch(self.env, name, datapath_id=self._next_dpid)
+        self._next_dpid += 1
+        self.switches[name] = created
+        return created
+
+    # -- links --------------------------------------------------------------
+
+    def attach(
+        self,
+        switch: OpenFlowSwitch | str,
+        host: Host | str,
+        bandwidth_bps: float = GBPS,
+        latency_s: float = 100e-6,
+    ) -> int:
+        """Link a host to a switch; returns the switch port number."""
+        switch = self.switches[switch] if isinstance(switch, str) else switch
+        host = self.hosts[host] if isinstance(host, str) else host
+        port_no, iface = switch.add_port(self.macs.allocate())
+        Link(self.env, host.iface, iface, bandwidth_bps, latency_s)
+        self.ports[(switch.name, host.name)] = port_no
+        return port_no
+
+    def trunk(
+        self,
+        a: OpenFlowSwitch | str,
+        b: OpenFlowSwitch | str,
+        bandwidth_bps: float = 10 * GBPS,
+        latency_s: float = 500e-6,
+    ) -> tuple[int, int]:
+        """Link two switches; returns (port on a, port on b)."""
+        a = self.switches[a] if isinstance(a, str) else a
+        b = self.switches[b] if isinstance(b, str) else b
+        port_a, iface_a = a.add_port(self.macs.allocate())
+        port_b, iface_b = b.add_port(self.macs.allocate())
+        Link(self.env, iface_a, iface_b, bandwidth_bps, latency_s)
+        self.ports[(a.name, b.name)] = port_a
+        self.ports[(b.name, a.name)] = port_b
+        return port_a, port_b
+
+    def wire(
+        self,
+        a: Host | str,
+        b: Host | str,
+        bandwidth_bps: float = GBPS,
+        latency_s: float = 100e-6,
+    ) -> Link:
+        """Direct host-to-host link (no switch in between)."""
+        a = self.hosts[a] if isinstance(a, str) else a
+        b = self.hosts[b] if isinstance(b, str) else b
+        return Link(self.env, a.iface, b.iface, bandwidth_bps, latency_s)
+
+    def port_of(self, switch: str, peer: str) -> int:
+        """Port number on ``switch`` toward attached node ``peer``."""
+        return self.ports[(switch, peer)]

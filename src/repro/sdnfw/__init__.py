@@ -1,0 +1,13 @@
+"""A Ryu-like SDN controller application framework.
+
+The paper's controller is implemented as a Ryu app; this package
+provides the equivalent structure for the simulated control plane:
+apps subclass :class:`SDNApp`, attach datapaths, and override the
+``on_packet_in`` / ``on_flow_removed`` event handlers.  A
+:class:`Datapath` wraps one switch's control channel with the
+flow-mod / packet-out / barrier helpers Ryu exposes.
+"""
+
+from repro.sdnfw.app import Datapath, SDNApp
+
+__all__ = ["Datapath", "SDNApp"]

@@ -1,0 +1,40 @@
+"""Serverless/WebAssembly substrate (the paper's §VIII future work).
+
+"In future work, we plan to extend our solution for transparent access
+by enabling the side-by-side operation of containers and serverless
+applications and evaluate how well the latter would perform in a
+transparent access approach."
+
+This package provides that side: a WebAssembly function runtime whose
+cold start is milliseconds instead of hundreds of milliseconds (per
+Gackstatter et al. [7] and Mohan et al. [23] — no network namespace to
+build), a module registry, and an :class:`~repro.cluster.EdgeCluster`
+adapter so the same SDN controller deploys wasm functions through the
+same FAST/BEST machinery as containers.
+"""
+
+from repro.serverless.wasm import (
+    WasmFunction,
+    WasmInstance,
+    WasmModule,
+    WasmRuntime,
+    WasmRuntimeProfile,
+)
+from repro.serverless.cluster import ServerlessCluster
+from repro.serverless.catalog import (
+    WASM_SERVICES,
+    WasmServiceTemplate,
+    build_wasm_catalog,
+)
+
+__all__ = [
+    "ServerlessCluster",
+    "WASM_SERVICES",
+    "WasmFunction",
+    "WasmInstance",
+    "WasmModule",
+    "WasmRuntime",
+    "WasmRuntimeProfile",
+    "WasmServiceTemplate",
+    "build_wasm_catalog",
+]

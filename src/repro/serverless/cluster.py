@@ -1,0 +1,116 @@
+"""EdgeCluster adapter for the serverless runtime.
+
+Lets the unchanged SDN controller deploy wasm functions side by side
+with containers: the same :class:`~repro.cluster.DeploymentPlan` maps
+onto a module (via the cluster's image→module table), and the fig. 4
+phases become fetch / register / instantiate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+
+from repro.cluster.base import DeployError, EdgeCluster, ServiceEndpoint
+from repro.cluster.plan import DeploymentPlan
+from repro.serverless.wasm import WasmInstance, WasmModule, WasmRuntime
+from repro.sim import Environment
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.host import Host
+
+
+class ServerlessCluster(EdgeCluster):
+    """An edge site running a WebAssembly function runtime."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        host: "Host",
+        runtime: WasmRuntime,
+        module_map: _t.Mapping[str, WasmModule],
+        distance: int = 0,
+        capacity: int | None = None,
+        port_base: int = 25000,
+        register_s: float = 0.002,
+    ) -> None:
+        super().__init__(env, name, host, distance, capacity)
+        self.runtime = runtime
+        #: image reference -> wasm module implementing the same service.
+        self.module_map = dict(module_map)
+        self.register_s = register_s
+        self._ports: dict[str, int] = {}
+        self._port_counter = itertools.count(port_base)
+        self._registered: set[str] = set()
+        self._instances: dict[str, list[WasmInstance]] = {}
+
+    def _module_for(self, plan: DeploymentPlan) -> WasmModule:
+        reference = plan.serving_container.image.reference
+        module = self.module_map.get(reference)
+        if module is None:
+            raise DeployError(
+                f"{self.name}: no wasm build of {reference!r} available"
+            )
+        return module
+
+    # -- phases ------------------------------------------------------------
+
+    def pull(self, plan: DeploymentPlan):
+        yield from self.runtime.fetch(self._module_for(plan))
+
+    def create(self, plan: DeploymentPlan):
+        """Register the function (no containers to prepare)."""
+        if plan.service_name in self._registered:
+            return
+        if not self.image_cached(plan):
+            raise DeployError(
+                f"{self.name}: module for {plan.service_name!r} not fetched"
+            )
+        yield self.env.timeout(self.register_s)
+        self._ports.setdefault(plan.service_name, next(self._port_counter))
+        self._registered.add(plan.service_name)
+
+    def scale_up(self, plan: DeploymentPlan):
+        if plan.service_name not in self._registered:
+            raise DeployError(
+                f"{self.name}: {plan.service_name!r} not registered yet"
+            )
+        port = self._ports[plan.service_name]
+        instance = yield from self.runtime.instantiate(
+            self._module_for(plan), port
+        )
+        self._instances.setdefault(plan.service_name, []).append(instance)
+
+    def scale_down(self, plan: DeploymentPlan):
+        for instance in self._instances.pop(plan.service_name, []):
+            yield from self.runtime.terminate(instance)
+
+    def remove(self, plan: DeploymentPlan):
+        yield from self.scale_down(plan)
+        self._registered.discard(plan.service_name)
+        self._ports.pop(plan.service_name, None)
+
+    def delete_images(self, plan: DeploymentPlan):
+        module = self._module_for(plan)
+        freed = module.size_bytes if self.runtime.has_module(module.name) else 0
+        self.runtime.drop_module(module.name)
+        yield self.env.timeout(0.0)
+        return freed
+
+    # -- state ------------------------------------------------------------------
+
+    def image_cached(self, plan: DeploymentPlan) -> bool:
+        return self.runtime.has_module(self._module_for(plan).name)
+
+    def is_created(self, plan: DeploymentPlan) -> bool:
+        return plan.service_name in self._registered
+
+    def running_count(self) -> int:
+        return sum(1 for instances in self._instances.values() if instances)
+
+    def endpoint(self, plan: DeploymentPlan) -> ServiceEndpoint | None:
+        port = self._ports.get(plan.service_name)
+        if port is None:
+            return None
+        return ServiceEndpoint(ip=self.ingress_host.ip, port=port)

@@ -1,0 +1,36 @@
+"""Edge service models: the paper's Table I catalog and calibration.
+
+Each edge service couples
+
+* an **image model** (size and layer count exactly as Table I reports),
+* a **behaviour model** (application boot time and request-handling
+  latency, calibrated in :mod:`repro.services.calibration`), and
+* an **HTTP profile** (GET with tiny payload, or ResNet's 83 KiB POST).
+"""
+
+from repro.services.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.services.catalog import (
+    ASM,
+    NGINX,
+    NGINX_PY,
+    PAPER_SERVICES,
+    RESNET,
+    ServiceTemplate,
+    build_catalog,
+)
+from repro.services.behavior import BehaviorRegistry, ContainerBehavior, EdgeServiceApp
+
+__all__ = [
+    "ASM",
+    "BehaviorRegistry",
+    "Calibration",
+    "ContainerBehavior",
+    "DEFAULT_CALIBRATION",
+    "EdgeServiceApp",
+    "NGINX",
+    "NGINX_PY",
+    "PAPER_SERVICES",
+    "RESNET",
+    "ServiceTemplate",
+    "build_catalog",
+]

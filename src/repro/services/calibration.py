@@ -1,0 +1,71 @@
+"""Calibration constants mapping paper measurements to model inputs.
+
+Every timing constant of the reproduction that is *fitted* (rather
+than structural) lives here, together with the paper observation it
+targets.  Changing a value here re-calibrates every experiment
+consistently.
+
+Paper targets (medians):
+
+* fig. 11 — Docker scale-up < 1 s for Asm/Nginx, K8s ≈ 3 s; ResNet
+  significantly slower on both; Nginx+Py slower than Nginx.
+* fig. 12 — Create adds ≈ 100 ms.
+* fig. 13 — pulls: Asm ≪ Nginx < Nginx+Py < ResNet; private registry
+  saves ≈ 1.5–2 s.
+* fig. 14/15 — ResNet's wait-until-ready is > ¼ of its total.
+* fig. 16 — warm requests ≈ 1 ms except ResNet (inference-bound).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Calibration:
+    """Application-level latency constants (seconds unless noted)."""
+
+    # -- application boot times (scale-up wait contributors, figs. 14/15)
+    #: asmttpd: a few hundred KB of assembly, effectively instant.
+    asm_boot_s: float = 0.004
+    #: nginx: parse config, bind socket, fork workers.
+    nginx_boot_s: float = 0.060
+    #: TensorFlow Serving: load + warm the ResNet50 SavedModel.
+    resnet_boot_s: float = 2.400
+    #: Python env-writer: interpreter start + imports + first write.
+    envwriter_boot_s: float = 0.380
+
+    # -- request handling (fig. 16)
+    #: Serving a short plain-text file from memory.
+    static_file_handle_s: float = 0.0004
+    #: One ResNet50 classification on CPU (TF Serving, batch of 1).
+    resnet_infer_s: float = 0.120
+
+    # -- HTTP payload sizes (bytes)
+    #: Short plain-text responses of the Asm/Nginx services.
+    text_response_bytes: int = 120
+    #: The cat picture POSTed for classification (83 KiB, §VI).
+    resnet_request_bytes: int = 83 * 1024
+    #: JSON classification result.
+    resnet_response_bytes: int = 600
+
+    # -- SDN controller behaviour
+    #: Port-polling interval of the readiness check (§VI: "the
+    #: controller continuously tests if the respective port is open").
+    port_poll_interval_s: float = 0.020
+    #: Controller processing per packet-in (Ryu app, Python).
+    controller_processing_s: float = 0.0008
+
+    # -- flow management (§V)
+    #: Idle timeout of switch flow entries (kept low by design).
+    switch_idle_timeout_s: float = 10.0
+    #: Idle timeout of FlowMemory entries (longer; drives scale-down).
+    memory_idle_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) < 0:
+                raise ValueError(f"{field.name} must be >= 0")
+
+
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,46 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the event loop that the whole reproduction runs on:
+the network substrate, the container runtimes, the Kubernetes control
+loops, and the SDN controller are all processes scheduled by a single
+:class:`~repro.sim.environment.Environment`.
+
+The design follows the classic generator-based process-interaction style
+(as popularised by SimPy) but is implemented from scratch so the
+reproduction is fully self-contained:
+
+* :class:`Environment` — the event loop with a deterministic heap
+  (ties broken by priority, then by schedule order).
+* :class:`Event` — one-shot occurrences that carry a value or an error.
+* :class:`Process` — a generator wrapped so each ``yield``\\ ed event
+  suspends it until the event fires.
+* :class:`Timeout` — an event that fires after a simulated delay.
+* :class:`AllOf` / :class:`AnyOf` — condition events for fan-in.
+* :class:`Resource`, :class:`Store`, :class:`PriorityStore`,
+  :class:`Container` — shared-resource primitives.
+
+Simulated time is a ``float`` in **seconds**; determinism does not depend
+on float tie-breaking because every scheduled event carries a strictly
+increasing sequence number.
+"""
+
+from repro.sim.events import AllOf, AnyOf, Condition, Event, Timeout
+from repro.sim.process import Interrupt, Process
+from repro.sim.environment import Environment, SimulationError
+from repro.sim.resources import Container, PriorityStore, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,174 @@
+"""The simulation event loop."""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from itertools import count
+
+from repro.sim.events import Event, NORMAL, Timeout
+from repro.sim.process import Process
+
+
+class SimulationError(RuntimeError):
+    """Raised when the event loop encounters an unrecoverable state."""
+
+
+class EmptySchedule(Exception):
+    """Internal: the event heap ran dry."""
+
+
+class _StopRun(Exception):
+    """Internal: carries the value of the ``until`` event out of run()."""
+
+
+class Environment:
+    """A deterministic discrete-event environment.
+
+    Time is a float in seconds, starting at ``initial_time``.  The event
+    heap orders by ``(time, priority, sequence)``; the sequence number is
+    a strictly increasing counter, so simultaneous events always run in
+    the order they were scheduled — the source of the kernel's
+    reproducibility.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Process | None = None
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
+        """Create an event firing after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: _t.Generator[Event, _t.Any, _t.Any],
+        name: str | None = None,
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def run_process(
+        self,
+        generator: _t.Generator[Event, _t.Any, _t.Any],
+        name: str | None = None,
+    ) -> _t.Any:
+        """Convenience: start ``generator`` and run until it finishes,
+        returning its value (the ``env.run(until=env.process(...))``
+        idiom in one call)."""
+        return self.run(until=self.process(generator, name=name))
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(
+        self,
+        event: Event,
+        priority: int = NORMAL,
+        delay: float = 0.0,
+    ) -> None:
+        """Push ``event`` onto the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next event on the heap."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        # Mark processed *before* running callbacks so conditions and
+        # late registrations observe a consistent state.
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in _t.cast(list, callbacks):
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failure nobody waited for: surface it loudly instead of
+            # silently dropping the exception.
+            exc = _t.cast(BaseException, event._value)
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> _t.Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the heap is empty; a float — run until
+            that simulated time; an :class:`Event` — run until it fires
+            and return its value.
+        """
+        stop: Event | None = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.callbacks is None:
+                    return stop.value  # already processed
+                stop.callbacks.append(self._stop_callback)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until={at} lies in the past (now={self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                # Urgent so the deadline fires before same-time events.
+                heapq.heappush(self._queue, (at, -1, next(self._seq), stop))
+                stop.callbacks.append(self._stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except _StopRun as marker:
+            return marker.args[0]
+        except EmptySchedule:
+            if stop is not None and not stop.processed:
+                if isinstance(until, Event):
+                    raise SimulationError(
+                        "run(until=event): schedule ran dry before the event fired"
+                    ) from None
+                # Time-limited run that ran out of events early: simply
+                # advance the clock to the requested time.
+                self._now = float(_t.cast(float, until))
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise _StopRun(event._value)
+        raise _t.cast(BaseException, event._value)

@@ -1,0 +1,237 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` moves through three states:
+
+``pending``
+    Created but not yet triggered; it sits in no queue.
+``triggered``
+    A value (or an error) has been attached and the event has been
+    pushed onto the environment's heap.
+``processed``
+    The event loop has popped it and run all its callbacks.
+
+Callbacks are plain callables taking the event itself.  Processes use
+them to resume; condition events use them to count completions.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+
+class _Pending:
+    """Sentinel for "no value attached yet"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+#: Scheduling priorities. Lower values run first at equal times.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    Parameters
+    ----------
+    env:
+        The environment the event belongs to.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callables invoked (in registration order) when the event is
+        #: processed.  ``None`` once processed.
+        self.callbacks: list[_t.Callable[[Event], None]] | None = []
+        self._value: _t.Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """Whether a value has been attached (event is or was scheduled)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event carries a value (``True``) or an error."""
+        return self._ok
+
+    @property
+    def value(self) -> _t.Any:
+        """The attached value or exception; raises if still pending."""
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        """Whether a failure has been acknowledged by some process.
+
+        An event that fails and is never yielded by any process would
+        silently swallow its exception; the environment re-raises such
+        un-defused failures at the end of their step.
+        """
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled."""
+        self._defused = True
+
+    # -- triggering -----------------------------------------------------
+
+    def succeed(self, value: _t.Any = None) -> "Event":
+        """Attach a success value and schedule the event now."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Attach an exception and schedule the event now."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy another event's outcome onto this one (callback shape)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(_t.cast(BaseException, event._value))
+
+    # -- composition ----------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: _t.Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        env.schedule(self, priority=NORMAL, delay=self.delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """An event that triggers when ``evaluate`` says enough children did.
+
+    The condition's value is a dict mapping each *finished* child event
+    to its value, preserving the original child order.
+    """
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: _t.Callable[[int, int], bool],
+        events: _t.Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._events = tuple(events)
+        self._count = 0
+        self._evaluate = evaluate
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+
+        if not self._events:
+            # Trivially true.
+            self.succeed({})
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                _t.cast(list, event.callbacks).append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                # A sibling failed after the condition already fired;
+                # the condition can no longer surface it.
+                event.defuse()
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(_t.cast(BaseException, event._value))
+            return
+        self._count += 1
+        if self._evaluate(len(self._events), self._count):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, _t.Any]:
+        return {e: e._value for e in self._events if e.processed and e._ok}
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        return self._events
+
+
+class AllOf(Condition):
+    """Triggers once *all* child events have succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: _t.Iterable[Event]) -> None:
+        super().__init__(env, lambda total, done: done == total, events)
+
+
+class AnyOf(Condition):
+    """Triggers once *any* child event has succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: _t.Iterable[Event]) -> None:
+        super().__init__(env, lambda total, done: done >= 1, events)

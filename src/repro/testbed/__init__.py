@@ -1,0 +1,5 @@
+"""Testbed assembly: the Carinthian Computing Continuum (C³) model."""
+
+from repro.testbed.c3 import C3Testbed, TestbedConfig
+
+__all__ = ["C3Testbed", "TestbedConfig"]

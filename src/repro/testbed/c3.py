@@ -1,0 +1,462 @@
+"""The simulated C³ evaluation testbed (fig. 8).
+
+Topology: the SDN controller, the virtual OVS switch, Docker, and the
+Kubernetes cluster all run on the *Edge Gateway Server* (EGS); clients
+run on Raspberry Pis attached through 1 Gbps links; the cloud sits
+behind a WAN uplink.  Docker and Kubernetes share one containerd (and
+hence one image store), exactly as on the real EGS.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster import DockerCluster, EdgeCluster, K8sEdgeCluster
+from repro.containers import Containerd, DockerEngine, Registry
+from repro.containers.registry import PRIVATE_PROFILE, PUBLIC_PROFILE
+from repro.core import (
+    Annotator,
+    ControllerConfig,
+    EdgeController,
+    GlobalScheduler,
+    NearestScheduler,
+    ServiceRegistry,
+    SwitchTopology,
+)
+from repro.core.service_registry import EdgeService
+from repro.k8s import KubernetesCluster
+from repro.k8s.profile import K8sProfile
+from repro.metrics import MetricsRecorder
+from repro.net import Host, Link
+from repro.net.addressing import IPAllocator, IPv4Address, MACAllocator
+from repro.net.cloud import CloudHost
+from repro.net.link import GBPS
+from repro.net.openflow import OpenFlowSwitch
+from repro.services import DEFAULT_CALIBRATION, Calibration, ServiceTemplate, build_catalog
+from repro.sim import Environment
+
+
+@dataclasses.dataclass(frozen=True)
+class TestbedConfig:
+    """Knobs of the simulated testbed."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    n_clients: int = 20
+    #: Which edge clusters to build on the EGS.
+    cluster_types: tuple[str, ...] = ("docker", "k8s")
+    #: Pull images from the "public" (Docker Hub/GCR) or the LAN
+    #: "private" registry (fig. 13's comparison).
+    registry: str = "public"
+    client_link_latency_s: float = 200e-6
+    client_link_bandwidth_bps: float = 1 * GBPS
+    egs_link_latency_s: float = 50e-6
+    egs_link_bandwidth_bps: float = 10 * GBPS
+    cloud_link_latency_s: float = 0.015
+    cloud_link_bandwidth_bps: float = 1 * GBPS
+    control_channel_latency_s: float = 150e-6
+    auto_scale_down: bool = False
+    #: Name of a custom Kubernetes scheduler to use as the Local
+    #: Scheduler (§IV-B/§V): the annotator sets it as ``schedulerName``
+    #: on every edge Deployment, and the cluster runs it alongside the
+    #: default scheduler.
+    k8s_local_scheduler: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ValueError("need at least one client")
+        unknown = set(self.cluster_types) - {"docker", "k8s"}
+        if unknown:
+            raise ValueError(f"unknown cluster types: {sorted(unknown)}")
+        if self.registry not in ("public", "private"):
+            raise ValueError(f"unknown registry {self.registry!r}")
+
+
+class C3Testbed:
+    """A fully wired simulation of the evaluation setup."""
+
+    def __init__(
+        self,
+        config: TestbedConfig | None = None,
+        scheduler: GlobalScheduler | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        k8s_profile: K8sProfile | None = None,
+    ) -> None:
+        self.config = config or TestbedConfig()
+        self.calibration = calibration
+        self.env = Environment()
+        self.recorder = MetricsRecorder()
+        self._ips = IPAllocator("10.0.0.0")
+        self._macs = MACAllocator()
+        self._service_ips = IPAllocator("203.0.113.0")
+
+        # -- hosts ---------------------------------------------------------
+        self.egs = Host(
+            self.env, "egs", self._macs.allocate(), self._ips.allocate()
+        )
+        self.clients: list[Host] = [
+            Host(
+                self.env,
+                f"rpi{i:02d}",
+                self._macs.allocate(),
+                self._ips.allocate(),
+            )
+            for i in range(self.config.n_clients)
+        ]
+        self.cloud = CloudHost(
+            self.env,
+            "cloud",
+            self._macs.allocate(),
+            IPv4Address.parse("198.51.100.1"),
+        )
+
+        # -- switch + links --------------------------------------------------
+        self.switch = OpenFlowSwitch(self.env, "ovs", datapath_id=1)
+        #: All switches by datapath id (gNBs added via :meth:`add_gnb`).
+        self.switches: dict[int, OpenFlowSwitch] = {1: self.switch}
+        #: (from dpid, to dpid) -> port on the *from* switch (star
+        #: topology: every gNB trunks to the main switch).
+        self._trunk_ports: dict[tuple[int, int], int] = {}
+        self.topology = SwitchTopology()
+        self._attach_host(
+            self.egs,
+            self.config.egs_link_bandwidth_bps,
+            self.config.egs_link_latency_s,
+        )
+        for client in self.clients:
+            self._attach_host(
+                client,
+                self.config.client_link_bandwidth_bps,
+                self.config.client_link_latency_s,
+            )
+        cloud_port = self._attach_host(
+            self.cloud,
+            self.config.cloud_link_bandwidth_bps,
+            self.config.cloud_link_latency_s,
+            register=False,
+        )
+        self.topology.set_cloud_port(self.switch.datapath_id, cloud_port)
+
+        # -- registries + catalog ------------------------------------------------
+        self.public_registry = Registry(self.env, "docker-hub", PUBLIC_PROFILE)
+        self.private_registry = Registry(self.env, "private-lan", PRIVATE_PROFILE)
+        self.images, self.behaviors = build_catalog(calibration)
+        for image in self.images.values():
+            self.public_registry.publish(image)
+            self.private_registry.publish(image)
+        self.active_registry = (
+            self.private_registry
+            if self.config.registry == "private"
+            else self.public_registry
+        )
+
+        # -- shared container runtime on the EGS -------------------------------------
+        self.containerd = Containerd(self.env, self.egs)
+
+        self.clusters: list[EdgeCluster] = []
+        self.docker_cluster: DockerCluster | None = None
+        self.k8s_cluster: K8sEdgeCluster | None = None
+        self.kubernetes: KubernetesCluster | None = None
+
+        if "docker" in self.config.cluster_types:
+            self.docker_engine = DockerEngine(self.env, self.containerd)
+            self.docker_cluster = DockerCluster(
+                self.env,
+                "docker",
+                self.egs,
+                self.docker_engine,
+                self.active_registry,
+                distance=0,
+            )
+            self.clusters.append(self.docker_cluster)
+
+        if "k8s" in self.config.cluster_types:
+            self.kubernetes = KubernetesCluster(
+                self.env, "k8s", self.active_registry, profile=k8s_profile
+            )
+            self.kubernetes.add_node("egs", self.egs, self.containerd)
+            if self.config.k8s_local_scheduler:
+                self.kubernetes.add_scheduler(self.config.k8s_local_scheduler)
+            self.k8s_cluster = K8sEdgeCluster(
+                self.env,
+                "k8s",
+                self.kubernetes,
+                "egs",
+                distance=0,
+                local_scheduler=self.config.k8s_local_scheduler,
+            )
+            self.clusters.append(self.k8s_cluster)
+
+        # -- controller --------------------------------------------------------------------
+        self.annotator = Annotator(
+            self.images,
+            self.behaviors,
+            scheduler_name=self.config.k8s_local_scheduler,
+        )
+        self.service_registry = ServiceRegistry(self.annotator)
+        self.scheduler = scheduler or NearestScheduler()
+        controller_config = dataclasses.replace(
+            ControllerConfig.from_calibration(calibration),
+            auto_scale_down=self.config.auto_scale_down,
+        )
+        self.controller = EdgeController(
+            self.env,
+            self.service_registry,
+            self.clusters,
+            self.scheduler,
+            self.topology,
+            config=controller_config,
+            calibration=calibration,
+            recorder=self.recorder,
+        )
+        self.datapath = self.controller.attach(
+            self.switch, latency_s=self.config.control_channel_latency_s
+        )
+
+        self._cloud_apps: dict[str, _t.Any] = {}
+        # Let the controller finish installing the infrastructure rules
+        # (default route, per-host forwarding) before any traffic flows;
+        # each flow-mod pays a control-channel hop.
+        self.settle(0.05)
+
+    def settle(self, duration_s: float = 0.01) -> None:
+        """Advance simulated time so in-flight control-plane messages
+        (flow-mods, watch events) land before the next measurement."""
+        self.env.run(until=self.env.now + duration_s)
+
+    # -- wiring helpers ---------------------------------------------------------
+
+    def _attach_host(
+        self,
+        host: Host,
+        bandwidth_bps: float,
+        latency_s: float,
+        register: bool = True,
+    ) -> int:
+        port_no, iface = self.switch.add_port(self._macs.allocate())
+        Link(self.env, host.iface, iface, bandwidth_bps, latency_s)
+        if register:
+            self.topology.register_host(self.switch.datapath_id, host.ip, port_no)
+        return port_no
+
+    def add_far_edge(
+        self,
+        name: str = "far-docker",
+        distance: int = 1,
+        latency_s: float = 0.004,
+        bandwidth_bps: float = 1 * GBPS,
+    ) -> DockerCluster:
+        """Attach an additional, farther Docker edge cluster.
+
+        Used by no-waiting experiments: "a 'non-optimal' (further away,
+        but on the route to the cloud) edge cluster is much more likely
+        to have the requested service cached or even running already."
+        """
+        host = Host(
+            self.env, name, self._macs.allocate(), self._ips.allocate()
+        )
+        self._attach_host(host, bandwidth_bps, latency_s)
+        runtime = Containerd(self.env, host)
+        engine = DockerEngine(self.env, runtime)
+        cluster = DockerCluster(
+            self.env, name, host, engine, self.active_registry, distance=distance
+        )
+        self.clusters.append(cluster)
+        self.controller.add_cluster(cluster)
+        return cluster
+
+    # -- multiple gNB switches + client mobility --------------------------------
+
+    def _port_toward(self, from_dpid: int, to_dpid: int) -> int:
+        """Egress port on ``from_dpid`` toward ``to_dpid`` (via the hub)."""
+        if from_dpid == to_dpid:
+            raise ValueError("no port toward self")
+        if from_dpid == 1:
+            return self._trunk_ports[(1, to_dpid)]
+        return self._trunk_ports[(from_dpid, 1)]
+
+    def add_gnb(
+        self,
+        name: str = "gnb2",
+        trunk_latency_s: float = 0.0005,
+        trunk_bandwidth_bps: float = 10 * GBPS,
+    ) -> OpenFlowSwitch:
+        """Attach an additional gNB switch, trunked to the main switch.
+
+        Models a second radio site: clients attached here reach the EGS
+        and the cloud through the trunk, and the controller programs
+        this switch like any other datapath.
+        """
+        dpid = max(self.switches) + 1
+        gnb = OpenFlowSwitch(self.env, name, datapath_id=dpid)
+        main_port, main_iface = self.switch.add_port(self._macs.allocate())
+        gnb_port, gnb_iface = gnb.add_port(self._macs.allocate())
+        Link(self.env, main_iface, gnb_iface, trunk_bandwidth_bps, trunk_latency_s)
+        self._trunk_ports[(1, dpid)] = main_port
+        self._trunk_ports[(dpid, 1)] = gnb_port
+        # Everything currently known on the main switch is reachable
+        # from the new gNB via its trunk.
+        for ip in self.topology.hosts(1):
+            self.topology.register_host(dpid, ip, gnb_port)
+        self.topology.set_cloud_port(dpid, gnb_port)
+        self.switches[dpid] = gnb
+        self.controller.attach(
+            gnb, latency_s=self.config.control_channel_latency_s
+        )
+        self.settle(0.1)
+        return gnb
+
+    def new_client(self, gnb: OpenFlowSwitch | None = None) -> Host:
+        """Create an extra client attached to ``gnb`` (default: main)."""
+        switch = gnb or self.switch
+        client = Host(
+            self.env,
+            f"rpi{len(self.clients):02d}",
+            self._macs.allocate(),
+            self._ips.allocate(),
+        )
+        self.clients.append(client)
+        self._wire_client(client, switch)
+        self.controller.install_host_routes(client.ip)
+        self.settle(0.01)
+        return client
+
+    def _wire_client(self, client: Host, switch: OpenFlowSwitch) -> None:
+        port_no, iface = switch.add_port(self._macs.allocate())
+        Link(
+            self.env,
+            client.iface,
+            iface,
+            self.config.client_link_bandwidth_bps,
+            self.config.client_link_latency_s,
+        )
+        self.topology.register_host(switch.datapath_id, client.ip, port_no)
+        for dpid in self.switches:
+            if dpid != switch.datapath_id:
+                self.topology.register_host(
+                    dpid, client.ip, self._port_toward(dpid, switch.datapath_id)
+                )
+
+    def move_client(self, client: Host, gnb: OpenFlowSwitch) -> None:
+        """Hand a client over to another gNB (same IP, new attachment).
+
+        The old radio link goes down, a new one comes up, and the
+        controller refreshes the client's routes and clears its stale
+        redirect flows.  Its memorized flows survive, so the next
+        request re-establishes the redirection at the new switch via
+        the FlowMemory fast path.
+        """
+        old_endpoint = client.iface.endpoint
+        if old_endpoint is not None:
+            old_endpoint.link.down = True
+            client.iface.endpoint = None
+        self._wire_client(client, gnb)
+        self.controller.update_client_location(client.ip)
+        self.settle(0.05)
+
+    def add_serverless(
+        self, name: str = "wasm", distance: int = 0
+    ) -> "ServerlessCluster":
+        """Add a WebAssembly function runtime on the EGS (§VIII future
+        work: containers and serverless side by side)."""
+        from repro.serverless import ServerlessCluster, WasmRuntime
+        from repro.serverless.catalog import default_module_map
+
+        runtime = WasmRuntime(self.env, self.egs)
+        cluster = ServerlessCluster(
+            self.env,
+            name,
+            self.egs,
+            runtime,
+            default_module_map(),
+            distance=distance,
+        )
+        self.clusters.append(cluster)
+        self.controller.add_cluster(cluster)
+        return cluster
+
+    # -- service management -------------------------------------------------------------
+
+    def register_template(
+        self,
+        template: ServiceTemplate,
+        cloud_ip: IPv4Address | None = None,
+        port: int = 80,
+    ) -> EdgeService:
+        """Register one catalog service; also serve it from the cloud
+        (the *perceived cloud* of fig. 1 really answers)."""
+        ip = cloud_ip if cloud_ip is not None else self._service_ips.allocate()
+        service = self.controller.register_service(
+            template.definition_yaml, ip, port, template_key=template.key
+        )
+        behavior = self.behaviors.get(template.images[0].reference)
+        factory = behavior.app_factory()
+        if factory is not None:
+            app = factory(self.env)
+            self.cloud.open_service(ip, port, app)
+            self._cloud_apps[service.name] = app
+        # The interception rule must be live before the first request
+        # arrives (registration happens well before use in practice).
+        self.settle(0.005)
+        return service
+
+    def register_yaml_file(
+        self,
+        path: str,
+        cloud_ip: IPv4Address | None = None,
+        port: int = 80,
+        template_key: str | None = None,
+    ) -> EdgeService:
+        """Register a service from a YAML definition file on disk —
+        the developer workflow of §V ("Each edge service needs to be
+        defined in a separate YAML file").  No cloud-side app is opened
+        (use :meth:`register_template` for catalog services)."""
+        with open(path, encoding="utf-8") as handle:
+            definition = handle.read()
+        ip = cloud_ip if cloud_ip is not None else self._service_ips.allocate()
+        service = self.controller.register_service(
+            definition, ip, port, template_key=template_key
+        )
+        self.settle(0.005)
+        return service
+
+    # -- driving requests ------------------------------------------------------------------
+
+    def http_request(
+        self,
+        client: Host,
+        service: EdgeService,
+        request=None,
+        timeout: float | None = 120.0,
+    ):
+        """One measured request (generator returning HTTPResult)."""
+        template_request = request
+        if template_request is None:
+            from repro.net.packet import HTTPRequest
+
+            template_request = HTTPRequest("GET", "/", body_bytes=0)
+        result = yield from client.http_request(
+            service.cloud_ip, service.port, template_request, timeout=timeout
+        )
+        return result
+
+    def run_request(self, client: Host, service: EdgeService, request=None, timeout=120.0):
+        """Drive one request to completion from outside the simulation."""
+        proc = self.env.process(
+            self.http_request(client, service, request, timeout)
+        )
+        return self.env.run(until=proc)
+
+    # -- deployment-state helpers for experiments ----------------------------------------------
+
+    def prepare_pulled(self, cluster: EdgeCluster, service: EdgeService) -> None:
+        """Synchronously pre-pull a service's images onto a cluster."""
+        proc = self.env.process(cluster.pull(service.plan))
+        self.env.run(until=proc)
+
+    def prepare_created(self, cluster: EdgeCluster, service: EdgeService) -> None:
+        """Pre-pull and pre-create (so only Scale Up remains)."""
+        self.prepare_pulled(cluster, service)
+        proc = self.env.process(cluster.create(service.plan))
+        self.env.run(until=proc)

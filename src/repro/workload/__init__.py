@@ -1,0 +1,24 @@
+"""Workloads: the bigFlows-like trace and the timecurl measurement client.
+
+The paper extracts its request workload from the five-minute
+``bigFlows.pcap`` capture: all TCP conversations to public port-80
+addresses with ≥ 20 requests → **42 services, 1708 requests** (fig. 9);
+the first request to each service triggers its deployment (fig. 10,
+up to 8 deployments/s at the start).  :mod:`repro.workload.bigflows`
+generates synthetic traces reproducing those marginals; the measured
+quantity is timecurl's ``time_total``.
+"""
+
+from repro.workload.bigflows import BigFlowsParams, RequestEvent, generate_trace
+from repro.workload.timecurl import TimecurlClient, TimecurlSample
+from repro.workload.driver import TraceDriver, TraceRunSummary
+
+__all__ = [
+    "BigFlowsParams",
+    "RequestEvent",
+    "TimecurlClient",
+    "TimecurlSample",
+    "TraceDriver",
+    "TraceRunSummary",
+    "generate_trace",
+]

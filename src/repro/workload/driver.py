@@ -1,0 +1,96 @@
+"""Drives a generated trace against the testbed.
+
+One process per request event: at the event's time, the assigned
+client issues the service's request through the transparent-edge path
+and the timecurl measurement records ``time_total``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.core.service_registry import EdgeService
+from repro.metrics import MetricsRecorder, summarize
+from repro.net.packet import HTTPRequest
+from repro.sim import AllOf, Environment
+from repro.workload.bigflows import RequestEvent
+from repro.workload.timecurl import TimecurlClient, TimecurlSample
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.host import Host
+
+
+@dataclasses.dataclass
+class TraceRunSummary:
+    """Outcome of a full trace run."""
+
+    n_requests: int
+    n_ok: int
+    n_errors: int
+    samples: list[TimecurlSample]
+    #: (service_index, deployment start time) for every first request.
+    first_request_times: dict[int, float]
+
+    @property
+    def time_totals(self) -> list[float]:
+        return [s.time_total for s in self.samples if s.ok]
+
+
+class TraceDriver:
+    """Runs a trace of :class:`RequestEvent` against registered services."""
+
+    def __init__(
+        self,
+        env: Environment,
+        clients: _t.Sequence["Host"],
+        services: _t.Sequence[EdgeService],
+        requests: _t.Mapping[str, HTTPRequest] | None = None,
+        recorder: MetricsRecorder | None = None,
+        timeout_s: float = 120.0,
+    ) -> None:
+        self.env = env
+        self.services = list(services)
+        self.recorder = recorder if recorder is not None else MetricsRecorder()
+        self.requests = dict(requests or {})
+        self.timecurls = [
+            TimecurlClient(host, self.recorder, timeout_s=timeout_s)
+            for host in clients
+        ]
+
+    def run(self, events: _t.Sequence[RequestEvent]) -> TraceRunSummary:
+        """Execute the whole trace; returns once every request finished."""
+        first_seen: dict[int, float] = {}
+        procs = []
+        for event in events:
+            if event.service_index >= len(self.services):
+                raise ValueError(
+                    f"event references service {event.service_index}, "
+                    f"but only {len(self.services)} are registered"
+                )
+            first_seen.setdefault(event.service_index, event.time_s)
+            procs.append(
+                self.env.process(
+                    self._one(event), name=f"trace:{event.time_s:.2f}"
+                )
+            )
+        done = AllOf(self.env, procs)
+        self.env.run(until=done)
+
+        samples = [s for tc in self.timecurls for s in tc.samples]
+        samples.sort(key=lambda s: s.started_at)
+        n_ok = sum(1 for s in samples if s.ok)
+        return TraceRunSummary(
+            n_requests=len(samples),
+            n_ok=n_ok,
+            n_errors=len(samples) - n_ok,
+            samples=samples,
+            first_request_times=first_seen,
+        )
+
+    def _one(self, event: RequestEvent):
+        yield self.env.timeout(event.time_s)
+        service = self.services[event.service_index]
+        client = self.timecurls[event.client_index % len(self.timecurls)]
+        request = self.requests.get(service.name)
+        yield from client.fetch(service, request)

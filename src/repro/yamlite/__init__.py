@@ -1,0 +1,24 @@
+"""A self-contained YAML-subset parser and emitter.
+
+The paper's SDN controller reads edge-service definitions written in the
+*Kubernetes Deployment* YAML format and annotates them before handing
+them to a cluster.  The execution environment has no PyYAML, so this
+package implements the subset of YAML those files actually use:
+
+* block mappings and block sequences with indentation structure,
+* flow-style lists ``[a, b]`` and mappings ``{k: v}``,
+* plain / single-quoted / double-quoted scalars,
+* ints, floats, booleans, ``null``, and strings,
+* ``#`` comments and blank lines,
+* multi-document streams separated by ``---``,
+* literal block scalars (``|``).
+
+Anchors, aliases, tags, and folded scalars are intentionally out of
+scope — Kubernetes manifests in the wild rarely use them and the
+paper's examples never do.
+"""
+
+from repro.yamlite.parser import YamlError, load, load_all
+from repro.yamlite.emitter import dump
+
+__all__ = ["YamlError", "dump", "load", "load_all"]

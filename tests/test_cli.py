@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENTS
+
+
+class TestCli:
+    def test_list_shows_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Nginx" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+    def test_run_fast_flag(self, capsys):
+        assert main(["run", "fig16", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 16" in out
+
+    def test_experiments_md_to_file(self, tmp_path, capsys):
+        # Full generation is exercised by docs; here only the plumbing
+        # with a stub runner to keep the test fast.
+        import repro.cli as cli
+
+        def fake_run(name, fast):
+            from repro.experiments.base import ExperimentResult
+
+            return ExperimentResult(name, "t", ["a"], [[1]])
+
+        original = cli._run_one
+        cli._run_one = fake_run
+        try:
+            target = tmp_path / "EXPERIMENTS.md"
+            assert main(["experiments-md", "-o", str(target)]) == 0
+            text = target.read_text()
+            assert "# EXPERIMENTS" in text
+            assert "table1" in text
+        finally:
+            cli._run_one = original
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,306 @@
+"""End-to-end tests: controller + testbed, the paper's request paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HybridDockerK8sScheduler, LowLatencyScheduler, NearestScheduler
+from repro.core.schedulers import CloudOnlyScheduler
+from repro.services.catalog import ASM, NGINX, NGINX_PY, RESNET
+from repro.testbed import C3Testbed, TestbedConfig
+
+
+def docker_testbed(**kwargs):
+    return C3Testbed(TestbedConfig(cluster_types=("docker",), **kwargs))
+
+
+def k8s_testbed(**kwargs):
+    return C3Testbed(TestbedConfig(cluster_types=("k8s",), **kwargs))
+
+
+class TestWithWaiting:
+    """On-demand deployment with waiting (fig. 5)."""
+
+    def test_first_request_docker_under_one_second(self):
+        """§VI/§VII headline: with cached images, Docker answers the
+        *first* request in well under a second."""
+        tb = docker_testbed()
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        result = tb.run_request(tb.clients[0], svc, NGINX.request)
+        assert result.response.status == 200
+        assert 0.2 < result.time_total < 1.0
+
+    def test_first_request_k8s_around_three_seconds(self):
+        tb = k8s_testbed()
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.k8s_cluster, svc)
+        result = tb.run_request(tb.clients[0], svc, NGINX.request)
+        assert result.response.status == 200
+        assert 2.0 < result.time_total < 5.0
+
+    def test_docker_much_faster_than_k8s(self):
+        """The fig. 11 gap: K8s ≈ 3x+ slower than Docker to scale up."""
+        results = {}
+        for name, builder in (("docker", docker_testbed), ("k8s", k8s_testbed)):
+            tb = builder()
+            svc = tb.register_template(NGINX)
+            cluster = tb.docker_cluster or tb.k8s_cluster
+            tb.prepare_created(cluster, svc)
+            results[name] = tb.run_request(tb.clients[0], svc, NGINX.request).time_total
+        assert results["k8s"] > 3 * results["docker"]
+
+    def test_second_request_is_warm(self):
+        """Once running, requests take ~milliseconds (fig. 16)."""
+        tb = docker_testbed()
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        first = tb.run_request(tb.clients[0], svc, NGINX.request)
+        second = tb.run_request(tb.clients[0], svc, NGINX.request)
+        assert second.time_total < 0.02
+        assert second.time_total < first.time_total / 20
+
+    def test_transparency_client_only_sees_cloud_address(self):
+        """The heart of transparent access: responses appear to come
+        from the registered cloud address even though the edge served."""
+        tb = docker_testbed()
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        client = tb.clients[0]
+        seen = []
+
+        def spy_receive(packet, iface, _orig=client.receive):
+            seen.append((packet.ip_src, packet.tcp.src_port))
+            _orig(packet, iface)
+
+        client.receive = spy_receive
+        result = tb.run_request(client, svc, NGINX.request)
+        assert result.response.status == 200
+        assert seen, "client received packets"
+        assert all(ip == svc.cloud_ip and port == svc.port for ip, port in seen)
+        # And the edge actually served it (container handled a request).
+        assert tb.controller.stats["dispatched"] == 1
+
+    def test_cold_service_includes_pull(self):
+        """Nothing cached: the pull phase happens on demand (fig. 2)."""
+        tb = docker_testbed()
+        svc = tb.register_template(ASM)
+        result = tb.run_request(tb.clients[0], svc, ASM.request)
+        assert result.response.status == 200
+        assert tb.recorder.samples("pull/docker/asm")
+        assert tb.docker_cluster.image_cached(svc.plan)
+
+    def test_multi_container_service_slower_than_single(self):
+        times = {}
+        for template in (NGINX, NGINX_PY):
+            tb = docker_testbed()
+            svc = tb.register_template(template)
+            tb.prepare_created(tb.docker_cluster, svc)
+            times[template.key] = tb.run_request(
+                tb.clients[0], svc, template.request
+            ).time_total
+        assert times["nginx_py"] > times["nginx"] + 0.2
+
+    def test_resnet_wait_dominates(self):
+        """ResNet's model load: wait-until-ready > 1/4 of total (fig. 14)."""
+        tb = docker_testbed()
+        svc = tb.register_template(RESNET)
+        tb.prepare_created(tb.docker_cluster, svc)
+        result = tb.run_request(tb.clients[0], svc, RESNET.request)
+        wait = tb.recorder.samples("wait_ready/docker/resnet")[0]
+        assert wait > result.time_total / 4
+
+    def test_concurrent_first_requests_single_deployment(self):
+        """Simultaneous cold hits share one deployment pipeline."""
+        tb = docker_testbed()
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        results = []
+
+        def one(env, client):
+            r = yield from tb.http_request(client, svc, NGINX.request)
+            results.append(r)
+
+        for client in tb.clients[:5]:
+            tb.env.process(one(tb.env, client))
+        tb.env.run(until=30.0)
+        assert len(results) == 5
+        assert all(r.response.status == 200 for r in results)
+        # Only one scale-up happened.
+        assert len(tb.recorder.samples("scale_up/docker/nginx")) == 1
+
+    def test_no_duplicate_redirect_entries(self):
+        """Concurrent cold connections from one client leave exactly
+        one forward + one reverse entry in the switch."""
+        tb = docker_testbed()
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        client = tb.clients[0]
+
+        def one(env):
+            yield from tb.http_request(client, svc, NGINX.request)
+
+        from repro.sim import AllOf
+
+        procs = [tb.env.process(one(tb.env)) for _ in range(3)]
+        tb.env.run(until=AllOf(tb.env, procs))
+        tb.settle(0.1)  # let trailing flow-mods land
+        redirects = [
+            e
+            for e in tb.switch.table
+            if str(e.cookie or "").startswith(f"redirect:{svc.name}")
+        ]
+        assert len(redirects) == 2  # one forward + one reverse
+
+
+class TestFlowMemory:
+    def test_memory_fast_path_after_switch_expiry(self):
+        """After the (low) switch idle timeout, the next request is a
+        packet-in again — but FlowMemory answers without re-scheduling."""
+        tb = docker_testbed()
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        tb.run_request(tb.clients[0], svc, NGINX.request)
+        # Wait beyond the switch idle timeout, under the memory timeout.
+        idle = tb.controller.config.switch_idle_timeout_s
+        tb.env.run(until=tb.env.now + idle + 2.0)
+        assert tb.controller.stats["memory_hits"] == 0
+        result = tb.run_request(tb.clients[0], svc, NGINX.request)
+        assert result.response.status == 200
+        assert tb.controller.stats["memory_hits"] == 1
+        assert tb.controller.stats["dispatched"] == 1  # not re-dispatched
+        assert result.time_total < 0.05
+
+    def test_auto_scale_down_after_memory_expiry(self):
+        tb = C3Testbed(
+            TestbedConfig(cluster_types=("docker",), auto_scale_down=True)
+        )
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        tb.run_request(tb.clients[0], svc, NGINX.request)
+        assert tb.docker_cluster.is_running(svc.plan)
+        # Idle past the memory timeout: the controller scales down.
+        memory_timeout = tb.controller.config.memory_idle_timeout_s
+        tb.env.run(until=tb.env.now + memory_timeout + 5.0)
+        assert not tb.docker_cluster.is_running(svc.plan)
+        assert tb.controller.stats["scale_downs"] == 1
+        # The service was only scaled down, not removed: next request
+        # redeploys quickly (containers still created).
+        result = tb.run_request(tb.clients[0], svc, NGINX.request)
+        assert result.response.status == 200
+
+
+class TestWithoutWaiting:
+    def test_redirect_to_far_edge_while_deploying(self):
+        """Fig. 3: first request served by a farther running instance,
+        future requests by the near edge once deployed."""
+        tb = C3Testbed(
+            TestbedConfig(cluster_types=("docker",)),
+            scheduler=LowLatencyScheduler(),
+        )
+        far = tb.add_far_edge("far-docker", distance=1)
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        # Far edge already runs an instance.
+        tb.prepare_created(far, svc)
+        proc = tb.env.process(far.scale_up(svc.plan))
+        tb.env.run(until=proc)
+        proc = tb.env.process(
+            far.wait_ready(svc.plan, poll_interval_s=0.02, timeout_s=10)
+        )
+        tb.env.run(until=proc)
+
+        first = tb.run_request(tb.clients[0], svc, NGINX.request)
+        assert first.response.status == 200
+        # No waiting: far instance answers fast (no deployment in path)
+        # and distinctly faster than the 60 ms cloud fallback would be.
+        assert first.time_total < 0.04
+        # The far edge actually served it (memorized before BEST lands).
+        flow = tb.controller.flow_memory.lookup(tb.clients[0].ip, svc)
+        assert flow is not None and flow.cluster_name == "far-docker"
+        assert tb.controller.stats["cloud_fallbacks"] == 0
+        # The near (BEST) deployment proceeds in the background.
+        tb.env.run(until=tb.env.now + 10.0)
+        assert tb.docker_cluster.is_running(svc.plan)
+        # FlowMemory now points at the near edge.
+        flow = tb.controller.flow_memory.lookup(tb.clients[0].ip, svc)
+        assert flow is not None and flow.cluster_name == "docker"
+
+    def test_cloud_fallback_when_nothing_runs(self):
+        """LowLatency with no running instance anywhere: current request
+        to the cloud, near edge deploys in parallel."""
+        tb = C3Testbed(
+            TestbedConfig(cluster_types=("docker",)),
+            scheduler=LowLatencyScheduler(),
+        )
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        first = tb.run_request(tb.clients[0], svc, NGINX.request)
+        assert first.response.status == 200
+        # Served by the cloud: ~2 WAN round trips, way under deploy time.
+        assert 0.05 < first.time_total < 0.5
+        assert tb.controller.stats["cloud_fallbacks"] == 1
+        tb.env.run(until=tb.env.now + 10.0)
+        assert tb.docker_cluster.is_running(svc.plan)
+
+
+class TestCloudOnly:
+    def test_pure_cloud_baseline(self):
+        tb = C3Testbed(
+            TestbedConfig(cluster_types=("docker",)),
+            scheduler=CloudOnlyScheduler(),
+        )
+        svc = tb.register_template(NGINX)
+        result = tb.run_request(tb.clients[0], svc, NGINX.request)
+        assert result.response.status == 200
+        # Never deployed at the edge.
+        assert not tb.docker_cluster.is_created(svc.plan)
+        # WAN latency dominates: 15 ms one-way, 2+ round trips.
+        assert result.time_total > 0.05
+
+
+class TestHybrid:
+    def test_docker_first_then_k8s(self):
+        """§VII: fast first response via Docker, then Kubernetes takes
+        over for managed steady-state."""
+        tb = C3Testbed(
+            TestbedConfig(cluster_types=("docker", "k8s")),
+            scheduler=HybridDockerK8sScheduler("docker", "k8s"),
+        )
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        tb.prepare_created(tb.k8s_cluster, svc)
+
+        first = tb.run_request(tb.clients[0], svc, NGINX.request)
+        assert first.response.status == 200
+        assert first.time_total < 1.0  # Docker speed, not K8s speed
+        # Kubernetes deployment completes in the background.
+        tb.env.run(until=tb.env.now + 10.0)
+        assert tb.k8s_cluster.is_running(svc.plan)
+        # Memorized flows repointed to the K8s instance.
+        flow = tb.controller.flow_memory.lookup(tb.clients[0].ip, svc)
+        assert flow is not None and flow.cluster_name == "k8s"
+
+
+class TestUnregisteredTraffic:
+    def test_unregistered_service_flows_to_cloud(self):
+        from repro.net.packet import HTTPRequest
+        from repro.net.addressing import IPv4Address
+        from tests.nethelpers import EchoApp
+
+        tb = docker_testbed()
+        ip = IPv4Address.parse("203.0.113.200")
+        tb.cloud.open_service(ip, 80, EchoApp(tb.env))
+        client = tb.clients[0]
+
+        def go(env):
+            result = yield from client.http_request(
+                ip, 80, HTTPRequest("GET", "/"), timeout=10.0
+            )
+            return result
+
+        proc = tb.env.process(go(tb.env))
+        result = tb.env.run(until=proc)
+        assert result.response.status == 200
+        # Default rule handled it: the controller never saw a packet-in.
+        assert tb.controller.stats["packet_in"] == 0

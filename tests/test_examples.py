@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Stdout is captured (the scripts print narratives).
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart",
+    "on_demand_waiting",
+    "no_waiting_redirect",
+    "hybrid_docker_k8s",
+    "scale_down_idle",
+    "client_mobility",
+    "serverless_vs_containers",
+]
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    runpy.run_path(f"examples/{name}.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_trace_replay_example_small(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["trace_replay.py", "--small"])
+    runpy.run_path("examples/trace_replay.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Fig. 9" in out and "Fig. 10" in out

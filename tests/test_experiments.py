@@ -1,0 +1,133 @@
+"""Tests for the experiment runners (reduced sizes; full sizes run in
+``benchmarks/``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    run_fig11_scale_up,
+    run_fig12_create_scale_up,
+    run_fig13_pull,
+    run_fig16_warm_requests,
+    run_scale_up_experiment,
+    run_table1,
+    run_trace_replay,
+)
+from repro.experiments.base import ExperimentResult
+from repro.services.catalog import ASM, NGINX
+from repro.workload import BigFlowsParams
+
+
+class TestExperimentResult:
+    def test_render_and_accessors(self):
+        result = ExperimentResult(
+            experiment_id="X",
+            title="t",
+            headers=["k", "v"],
+            rows=[["a", 1], ["b", 2]],
+            paper_shape="shape",
+        )
+        text = result.render()
+        assert "X: t" in text and "shape" in text
+        assert result.column("v") == [1, 2]
+        assert result.cell("b", "v") == 2
+        with pytest.raises(KeyError):
+            result.cell("c", "v")
+        with pytest.raises(ValueError):
+            result.column("nope")
+
+    def test_to_csv(self):
+        result = ExperimentResult(
+            experiment_id="X",
+            title="t",
+            headers=["k", "v"],
+            rows=[["a", 1], ["b, c", 2]],
+        )
+        csv_text = result.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "k,v"
+        assert lines[1] == "a,1"
+        assert lines[2] == '"b, c",2'  # quoting handled
+
+    def test_registry_complete(self):
+        expected = {
+            "table1", "fig09", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "trace",
+            "ablation_waiting", "ablation_hybrid",
+            "ablation_layer_cache", "ablation_flow_table",
+            "ablation_flow_occupancy",
+            "extension_serverless", "extension_proactive", "extension_load",
+            "extension_breakdown", "extension_hierarchy",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestScaleUpExperiment:
+    def test_scale_up_only_skips_pull_and_create(self):
+        run = run_scale_up_experiment(
+            ASM, "docker", n_instances=3, pre_create=True, use_cache=False
+        )
+        assert run.totals and len(run.totals) == 3
+        assert run.create == []  # nothing created during the dispatch
+        assert len(run.wait_ready) == 3
+
+    def test_create_mode_records_create(self):
+        run = run_scale_up_experiment(
+            ASM, "docker", n_instances=3, pre_create=False, use_cache=False
+        )
+        assert len(run.create) == 3
+
+    def test_cache_returns_same_object(self):
+        a = run_scale_up_experiment(ASM, "docker", n_instances=2)
+        b = run_scale_up_experiment(ASM, "docker", n_instances=2)
+        assert a is b
+
+    def test_docker_vs_k8s_gap(self):
+        docker = run_scale_up_experiment(NGINX, "docker", n_instances=3)
+        k8s = run_scale_up_experiment(NGINX, "k8s", n_instances=3)
+        assert k8s.total_summary.median > 3 * docker.total_summary.median
+
+
+class TestFigureRunners:
+    def test_fig11_small(self):
+        result = run_fig11_scale_up(n_instances=3, services=(ASM, NGINX))
+        assert len(result.rows) == 2
+        assert result.cell("Asm", "docker median (s)") < 1.0
+        assert result.cell("Asm", "k8s median (s)") > 2.0
+
+    def test_fig12_exceeds_fig11(self):
+        fig11 = run_fig11_scale_up(n_instances=3, services=(NGINX,))
+        fig12 = run_fig12_create_scale_up(n_instances=3, services=(NGINX,))
+        assert (
+            fig12.cell("Nginx", "docker median (s)")
+            > fig11.cell("Nginx", "docker median (s)")
+        )
+
+    def test_fig13_private_beats_public(self):
+        result = run_fig13_pull(services=(NGINX,), repetitions=2)
+        assert result.cell("Nginx", "private median (s)") < result.cell(
+            "Nginx", "public median (s)"
+        )
+
+    def test_fig16_resnet_slowest(self):
+        from repro.services.catalog import RESNET
+
+        result = run_fig16_warm_requests(
+            services=(NGINX, RESNET), cluster_types=("docker",), n_requests=5
+        )
+        assert result.cell("ResNet", "docker median (s)") > 10 * result.cell(
+            "Nginx", "docker median (s)"
+        )
+
+    def test_table1_row_count(self):
+        assert len(run_table1().rows) == 4
+
+    def test_trace_replay_small(self):
+        params = BigFlowsParams(n_services=6, n_requests=130, duration_s=40.0)
+        result = run_trace_replay(params=params, seed=7)
+        metrics = {row[0]: row[1] for row in result.rows}
+        assert metrics["requests issued"] == 130
+        assert metrics["request errors"] == 0
+        assert metrics["services deployed"] == 6

@@ -1,0 +1,139 @@
+"""Tests for kube-proxy round-robin balancing over ready pods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers import Containerd, ImageSpec, Registry
+from repro.containers.image import MIB
+from repro.containers.registry import PRIVATE_PROFILE
+from repro.k8s import KubernetesClient, KubernetesCluster
+from repro.k8s.kubeproxy import RoundRobinBalancer
+from repro.sim import Environment
+from repro.net.packet import HTTPRequest, HTTPResponse
+
+from tests.nethelpers import MiniNet
+from tests.test_k8s import _cluster, _deployment, _image, _service
+
+
+class _TaggedApp:
+    """Handler that tags responses with its identity via body size."""
+
+    def __init__(self, env, tag: int):
+        self.env = env
+        self.tag = tag
+        self.hits = 0
+
+    def handle(self, request):
+        yield self.env.timeout(0.0)
+        self.hits += 1
+        return HTTPResponse(status=200, body_bytes=self.tag)
+
+
+class TestRoundRobinBalancer:
+    def test_rotates_over_backends(self):
+        env = Environment()
+        apps = [_TaggedApp(env, i) for i in range(3)]
+        balancer = RoundRobinBalancer()
+        balancer.set_backends(apps)
+        seen = []
+
+        def go(env):
+            for _ in range(6):
+                response = yield from balancer.handle(HTTPRequest("GET", "/"))
+                seen.append(response.body_bytes)
+
+        env.run(until=env.process(go(env)))
+        assert seen == [0, 1, 2, 0, 1, 2]
+        assert all(app.hits == 2 for app in apps)
+
+    def test_backend_swap_resets_cleanly(self):
+        env = Environment()
+        balancer = RoundRobinBalancer()
+        balancer.set_backends([_TaggedApp(env, i) for i in range(5)])
+        balancer._next = 4
+        balancer.set_backends([_TaggedApp(env, 9)])
+        assert balancer._next == 0
+
+
+class TestMultiReplicaService:
+    def test_requests_spread_over_replicas(self):
+        env = Environment()
+        cluster, registry, nodes = _cluster(env)
+        host, runtime = nodes[0]
+        image = _image()
+        registry.publish(image)
+        client = KubernetesClient(cluster.api)
+        labels = {"edge.service": "web"}
+
+        # Two replicas behind one NodePort.
+        import tests.test_k8s as tk
+        from repro.k8s.objects import ContainerDef
+
+        apps = []
+
+        def app_factory(e):
+            app = _TaggedApp(e, len(apps))
+            apps.append(app)
+            return app
+
+        containers = [
+            ContainerDef(
+                name="main",
+                image=image,
+                container_port=80,
+                boot_time_s=0.01,
+                app_factory=app_factory,
+            )
+        ]
+
+        def go(env):
+            yield from client.create_deployment(
+                tk._deployment("web", image, labels=labels, replicas=2,
+                               containers=containers)
+            )
+            yield from client.create_service(tk._service("web", labels))
+
+        env.process(go(env))
+        env.run(until=15.0)
+        assert host.port_is_open(30080)
+        assert len(apps) == 2
+
+        # Drive requests through the node port's balancer.
+        listener_app = host._listeners[30080].app
+
+        def requests(env):
+            for _ in range(8):
+                yield from listener_app.handle(HTTPRequest("GET", "/"))
+
+        env.process(requests(env))
+        env.run(until=20.0)
+        assert apps[0].hits == 4 and apps[1].hits == 4
+
+    def test_scale_down_to_one_replica_keeps_port(self):
+        env = Environment()
+        cluster, registry, nodes = _cluster(env)
+        host, runtime = nodes[0]
+        image = _image()
+        registry.publish(image)
+        client = KubernetesClient(cluster.api)
+        labels = {"edge.service": "web"}
+
+        def go(env):
+            yield from client.create_deployment(
+                _deployment("web", image, labels=labels, replicas=2)
+            )
+            yield from client.create_service(_service("web", labels))
+
+        env.process(go(env))
+        env.run(until=15.0)
+        assert host.port_is_open(30080)
+
+        def scale(env):
+            yield from client.scale_deployment("web", 1)
+
+        env.process(scale(env))
+        env.run(until=25.0)
+        pods = cluster.api.list_nowait("Pod")
+        assert len(pods) == 1
+        assert host.port_is_open(30080)  # one backend left, still bound

@@ -1,0 +1,55 @@
+"""The shipped YAML manifests parse, annotate, and deploy end to end."""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro import yamlite
+from repro.services.catalog import PAPER_SERVICES, template_by_key
+from repro.testbed import C3Testbed, TestbedConfig
+
+MANIFEST_DIR = os.path.join(os.path.dirname(__file__), "..", "examples", "manifests")
+
+
+def _manifest_path(key: str) -> str:
+    return os.path.join(MANIFEST_DIR, f"{key}.yaml")
+
+
+class TestManifestFiles:
+    def test_all_four_manifests_ship(self):
+        files = sorted(
+            os.path.basename(p) for p in glob.glob(os.path.join(MANIFEST_DIR, "*.yaml"))
+        )
+        assert files == ["asm.yaml", "nginx.yaml", "nginx_py.yaml", "resnet.yaml"]
+
+    @pytest.mark.parametrize("template", PAPER_SERVICES, ids=lambda t: t.key)
+    def test_manifest_matches_catalog(self, template):
+        with open(_manifest_path(template.key), encoding="utf-8") as handle:
+            text = handle.read()
+        doc = yamlite.load(text)
+        catalog_doc = yamlite.load(template.definition_yaml)
+        assert doc == catalog_doc
+
+    def test_register_from_file_and_serve(self):
+        tb = C3Testbed(TestbedConfig(cluster_types=("docker",)))
+        svc = tb.register_yaml_file(
+            _manifest_path("nginx"), template_key="nginx"
+        )
+        # Serve it from the cloud too (register_yaml_file doesn't).
+        from repro.services.behavior import EdgeServiceApp
+
+        tb.cloud.open_service(
+            svc.cloud_ip, svc.port, EdgeServiceApp(tb.env, 0.001)
+        )
+        tb.prepare_created(tb.docker_cluster, svc)
+        template = template_by_key("nginx")
+        result = tb.run_request(tb.clients[0], svc, template.request)
+        assert result.response.status == 200
+        assert tb.docker_cluster.is_running(svc.plan)
+
+    def test_template_by_key_unknown(self):
+        with pytest.raises(KeyError):
+            template_by_key("ghost")

@@ -1,0 +1,142 @@
+"""Tests for the metrics package."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    MetricsRecorder,
+    TimeSeries,
+    median,
+    percentile,
+    render_histogram,
+    render_series,
+    render_table,
+    summarize,
+)
+
+
+class TestStats:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_median_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_percentile_bounds(self):
+        xs = [float(i) for i in range(101)]
+        assert percentile(xs, 0) == 0.0
+        assert percentile(xs, 100) == 100.0
+        assert percentile(xs, 50) == 50.0
+        with pytest.raises(ValueError):
+            percentile(xs, 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_summary_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.stddev > 0
+
+    def test_summary_single_sample(self):
+        s = summarize([5.0])
+        assert s.stddev == 0.0
+        assert s.median == 5.0
+
+    def test_summary_str_readable(self):
+        text = str(summarize([0.1, 0.2, 0.3]))
+        assert "median=" in text and "ms" in text
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_summary_invariants(self, xs):
+        import math
+
+        s = summarize(xs)
+        assert s.minimum <= s.p25 <= s.median <= s.p75 <= s.p95 <= s.maximum
+        # The mean may drift past the extremes by a rounding ulp.
+        tolerance = 4 * math.ulp(max(abs(s.minimum), abs(s.maximum), 1.0))
+        assert s.minimum - tolerance <= s.mean <= s.maximum + tolerance
+        assert s.count == len(xs)
+
+
+class TestRecorder:
+    def test_record_and_summary(self):
+        rec = MetricsRecorder()
+        for v in (1.0, 2.0, 3.0):
+            rec.record("lat", v)
+        assert rec.samples("lat") == [1.0, 2.0, 3.0]
+        assert rec.summary("lat").median == 2.0
+        assert rec.names() == ["lat"]
+
+    def test_missing_name(self):
+        rec = MetricsRecorder()
+        assert rec.samples("nope") == []
+        with pytest.raises(KeyError):
+            rec.summary("nope")
+
+    def test_series_bucketing(self):
+        rec = MetricsRecorder()
+        for t in (0.5, 1.5, 1.9, 9.9, 15.0):
+            rec.mark("events", t)
+        counts = rec.series("events").bucket_counts(bucket=1.0, horizon=10.0)
+        assert counts[0] == 1 and counts[1] == 2 and counts[9] == 1
+        assert sum(counts) == 4  # the 15.0 event is beyond the horizon
+
+    def test_bucket_validation(self):
+        ts = TimeSeries()
+        with pytest.raises(ValueError):
+            ts.bucket_counts(bucket=0, horizon=10)
+
+    def test_merge(self):
+        a, b = MetricsRecorder(), MetricsRecorder()
+        a.record("x", 1.0)
+        b.record("x", 2.0)
+        b.mark("e", 5.0)
+        a.merge(b)
+        assert a.samples("x") == [1.0, 2.0]
+        assert len(a.series("e")) == 1
+
+    def test_clear(self):
+        rec = MetricsRecorder()
+        rec.record("x", 1.0)
+        rec.clear()
+        assert rec.samples("x") == []
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(l) for l in lines[2:]}) <= 2  # consistent width
+
+    def test_series_bars_scale(self):
+        text = render_series(["x", "y"], [1.0, 2.0], width=10)
+        x_line, y_line = text.splitlines()
+        assert y_line.count("#") == 10
+        assert x_line.count("#") == 5
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series(["x"], [1.0, 2.0])
+
+    def test_series_empty(self):
+        assert "(no data)" in render_series([], [])
+
+    def test_histogram(self):
+        text = render_histogram([1, 4, 2], bucket=10.0, width=8)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[1].count("#") == 8
+
+    def test_histogram_empty(self):
+        assert "(no data)" in render_histogram([], 1.0)

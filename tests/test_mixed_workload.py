@@ -1,0 +1,119 @@
+"""Integration: all four service types served concurrently, plus
+configuration-validation checks."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.services import Calibration, DEFAULT_CALIBRATION
+from repro.services.catalog import PAPER_SERVICES
+from repro.sim import AllOf
+from repro.testbed import C3Testbed, TestbedConfig
+from repro.workload import BigFlowsParams, TraceDriver, generate_trace
+
+
+class TestMixedWorkload:
+    def test_all_four_templates_in_one_trace(self):
+        """A mixed fleet: the trace's services cycle through the four
+        catalog types; everything deploys and serves concurrently."""
+        params = BigFlowsParams(
+            n_services=8, n_requests=176, duration_s=60.0, min_requests_per_service=10
+        )
+        tb = C3Testbed(TestbedConfig(cluster_types=("docker",)))
+        services, requests = [], {}
+        for i in range(params.n_services):
+            template = PAPER_SERVICES[i % len(PAPER_SERVICES)]
+            svc = tb.register_template(template)
+            tb.prepare_created(tb.docker_cluster, svc)
+            services.append(svc)
+            requests[svc.name] = template.request
+        tb.settle(1.0)
+
+        driver = TraceDriver(
+            tb.env, tb.clients, services, requests=requests, recorder=tb.recorder
+        )
+        summary = driver.run(generate_trace(params, seed=5))
+        assert summary.n_errors == 0
+        assert summary.n_ok == params.n_requests
+        # Each of the 8 services deployed exactly once.
+        assert len(tb.recorder.series("deployments")) == 8
+        # ResNet requests are visibly slower than the text services even
+        # when warm.
+        resnet_names = {
+            s.name for s in services if s.template_key == "resnet"
+        }
+        resnet_warm = [
+            x.time_total
+            for x in summary.samples
+            if x.service_name in resnet_names and x.time_total < 1.0
+        ]
+        text_warm = [
+            x.time_total
+            for x in summary.samples
+            if x.service_name not in resnet_names and x.time_total < 0.1
+        ]
+        assert resnet_warm and text_warm
+        assert min(resnet_warm) > 10 * max(
+            t for t in text_warm if t < 0.01
+        )
+
+    def test_mixed_concurrent_first_requests(self):
+        """Four cold services hit at the same instant — the start
+        concurrency limiter and deployment pipelines coexist."""
+        tb = C3Testbed(TestbedConfig(cluster_types=("docker",)))
+        pairs = []
+        for template in PAPER_SERVICES:
+            svc = tb.register_template(template)
+            tb.prepare_created(tb.docker_cluster, svc)
+            pairs.append((svc, template))
+        results = []
+
+        def one(env, svc, template):
+            result = yield from tb.http_request(
+                tb.clients[0], svc, template.request
+            )
+            results.append((template.key, result))
+
+        procs = [
+            tb.env.process(one(tb.env, svc, template)) for svc, template in pairs
+        ]
+        tb.env.run(until=AllOf(tb.env, procs))
+        assert len(results) == 4
+        assert all(r.response.status == 200 for _, r in results)
+        by_key = dict(results)
+        assert by_key["resnet"].time_total > by_key["nginx"].time_total
+
+
+class TestConfigValidation:
+    def test_calibration_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Calibration(nginx_boot_s=-1.0)
+
+    def test_testbed_config_validation(self):
+        with pytest.raises(ValueError):
+            TestbedConfig(n_clients=0)
+        with pytest.raises(ValueError):
+            TestbedConfig(cluster_types=("docker", "mesos"))
+        with pytest.raises(ValueError):
+            TestbedConfig(registry="quay")
+
+    def test_k8s_profile_rejects_negative(self):
+        from repro.k8s.profile import K8sProfile
+
+        with pytest.raises(ValueError):
+            K8sProfile(api_latency_s=-0.1)
+
+    def test_custom_calibration_flows_through(self):
+        """A slower nginx boot shows up in the measured first request."""
+        slow = dataclasses.replace(DEFAULT_CALIBRATION, nginx_boot_s=1.5)
+        tb = C3Testbed(
+            TestbedConfig(cluster_types=("docker",)), calibration=slow
+        )
+        from repro.services.catalog import NGINX
+
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        result = tb.run_request(tb.clients[0], svc, NGINX.request)
+        assert result.time_total > 1.5

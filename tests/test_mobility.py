@@ -1,0 +1,150 @@
+"""Tests for multi-gNB topologies and client mobility (Follow-me)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.services.catalog import NGINX
+from repro.testbed import C3Testbed, TestbedConfig
+
+
+def _testbed():
+    tb = C3Testbed(TestbedConfig(cluster_types=("docker",)))
+    gnb2 = tb.add_gnb("gnb2")
+    return tb, gnb2
+
+
+class TestMultiGnb:
+    def test_client_on_second_gnb_reaches_edge(self):
+        tb, gnb2 = _testbed()
+        client = tb.new_client(gnb=gnb2)
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        result = tb.run_request(client, svc, NGINX.request)
+        assert result.response.status == 200
+        # The packet-in came from the second datapath.
+        assert tb.controller.dispatcher.client_locations[client.ip].datapath_id == 2
+
+    def test_second_gnb_warm_requests_cost_trunk_hop(self):
+        tb, gnb2 = _testbed()
+        near = tb.clients[0]
+        far_client = tb.new_client(gnb=gnb2)
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        tb.run_request(near, svc, NGINX.request)  # deploy once
+        warm_near = tb.run_request(near, svc, NGINX.request).time_total
+        tb.run_request(far_client, svc, NGINX.request)  # install flows at gnb2
+        warm_far = tb.run_request(far_client, svc, NGINX.request).time_total
+        # Same edge instance, but 2 extra trunk traversals per round trip.
+        assert warm_far > warm_near
+        assert warm_far - warm_near < 0.01
+
+    def test_unregistered_traffic_from_gnb2_reaches_cloud(self):
+        from repro.net.addressing import IPv4Address
+        from repro.net.packet import HTTPRequest
+        from tests.nethelpers import EchoApp
+
+        tb, gnb2 = _testbed()
+        client = tb.new_client(gnb=gnb2)
+        ip = IPv4Address.parse("203.0.113.250")
+        tb.cloud.open_service(ip, 80, EchoApp(tb.env))
+
+        def go(env):
+            return (
+                yield from client.http_request(
+                    ip, 80, HTTPRequest("GET", "/"), timeout=10.0
+                )
+            )
+
+        proc = tb.env.process(go(tb.env))
+        result = tb.env.run(until=proc)
+        assert result.response.status == 200
+
+
+class TestHandover:
+    def test_handover_keeps_service_reachable(self):
+        """After moving, the next request works via the FlowMemory fast
+        path at the new switch — no re-scheduling."""
+        tb, gnb2 = _testbed()
+        client = tb.clients[0]  # starts on the main switch
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+
+        before = tb.run_request(client, svc, NGINX.request)
+        assert before.response.status == 200
+        dispatched_before = tb.controller.stats["dispatched"]
+
+        tb.move_client(client, gnb2)
+
+        after = tb.run_request(client, svc, NGINX.request)
+        assert after.response.status == 200
+        # Served warm-ish: no deployment in the path.
+        assert after.time_total < 0.05
+        # The controller answered from FlowMemory, not the scheduler.
+        assert tb.controller.stats["dispatched"] == dispatched_before
+        assert tb.controller.stats["memory_hits"] >= 1
+        # Location tracking follows the client.
+        assert tb.controller.dispatcher.client_locations[client.ip].datapath_id == 2
+
+    def test_handover_tears_down_old_flows(self):
+        tb, gnb2 = _testbed()
+        client = tb.clients[0]
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        tb.run_request(client, svc, NGINX.request)
+
+        main_redirects = [
+            e for e in tb.switch.table if str(e.cookie or "").startswith("redirect:")
+        ]
+        assert main_redirects
+        tb.move_client(client, gnb2)
+        main_redirects = [
+            e for e in tb.switch.table if str(e.cookie or "").startswith("redirect:")
+        ]
+        assert main_redirects == []
+
+    def test_handover_back_and_forth(self):
+        tb, gnb2 = _testbed()
+        client = tb.clients[0]
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        tb.run_request(client, svc, NGINX.request)
+        for target in (gnb2, tb.switch, gnb2):
+            tb.move_client(client, target)
+            result = tb.run_request(client, svc, NGINX.request)
+            assert result.response.status == 200
+
+    def test_handover_during_active_workload(self):
+        """A client moving mid-workload keeps getting answers: requests
+        before, between, and after two handovers all succeed."""
+        tb, gnb2 = _testbed()
+        gnb3 = tb.add_gnb("gnb3")
+        client = tb.clients[0]
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+
+        results = []
+        for hop, target in enumerate((None, gnb2, gnb3, tb.switch)):
+            if target is not None:
+                tb.move_client(client, target)
+            for _ in range(3):
+                results.append(tb.run_request(client, svc, NGINX.request))
+                tb.env.run(until=tb.env.now + 1.0)
+        assert len(results) == 12
+        assert all(r.response.status == 200 for r in results)
+        # Only the very first request dispatched a deployment.
+        assert tb.controller.stats["dispatched"] == 1
+
+    def test_transparency_survives_handover(self):
+        tb, gnb2 = _testbed()
+        client = tb.clients[0]
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        tb.run_request(client, svc, NGINX.request)
+        tb.move_client(client, gnb2)
+        seen = []
+        orig = client.receive
+        client.receive = lambda p, i: (seen.append(p.ip_src), orig(p, i))
+        result = tb.run_request(client, svc, NGINX.request)
+        assert result.response.status == 200
+        assert seen and all(ip == svc.cloud_ip for ip in seen)

@@ -1,0 +1,173 @@
+"""Edge cases of the host/TCP/HTTP model and the SDN framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import ConnectionRefused, ConnectionTimeout, HTTPRequest
+from repro.net.host import ConnectionReset
+from repro.net.packet import HTTPResponse
+from repro.sim import Environment
+
+from tests.nethelpers import EchoApp, MiniNet, run_request
+
+
+class TestConnectionEdgeCases:
+    def _pair(self):
+        env = Environment()
+        net = MiniNet(env)
+        a, b = net.host("a"), net.host("b")
+        net.wire(a, b)
+        return env, a, b
+
+    def test_port_closed_between_handshake_and_request(self):
+        """The paper's §VI warning: 'with the port still closed, the
+        server would reject the client's request' — also true if it
+        closes right after the handshake."""
+        env, a, b = self._pair()
+        b.open_port(80, EchoApp(env))
+
+        def go(env):
+            conn = yield from a.connect(b.ip, 80)
+            b.close_port(80)
+            conn.send_payload(HTTPRequest("GET", "/"), 200)
+            try:
+                yield from conn.recv(timeout=2.0)
+            except ConnectionReset:
+                return "reset"
+            return "ok"
+
+        proc = env.process(go(env))
+        assert env.run(until=proc) == "reset"
+
+    def test_send_on_closed_connection_raises(self):
+        env, a, b = self._pair()
+        b.open_port(80, EchoApp(env))
+
+        def go(env):
+            conn = yield from a.connect(b.ip, 80)
+            conn.close()
+            with pytest.raises(ConnectionReset):
+                conn.send_payload("x", 10)
+            return True
+
+        proc = env.process(go(env))
+        assert env.run(until=proc) is True
+
+    def test_recv_timeout(self):
+        env, a, b = self._pair()
+        b.open_port(80, EchoApp(env))
+
+        def go(env):
+            conn = yield from a.connect(b.ip, 80)
+            try:
+                yield from conn.recv(timeout=0.5)
+            except ConnectionTimeout:
+                return env.now
+            return None
+
+        proc = env.process(go(env))
+        t = env.run(until=proc)
+        assert t is not None and t >= 0.5
+
+    def test_handler_response_after_client_close_is_dropped(self):
+        env, a, b = self._pair()
+        b.open_port(80, EchoApp(env, service_time=1.0))
+
+        def go(env):
+            conn = yield from a.connect(b.ip, 80)
+            conn.send_payload(HTTPRequest("GET", "/"), 200)
+            yield env.timeout(0.1)
+            conn.close()  # client gives up before the response
+            yield env.timeout(5.0)
+            return True
+
+        proc = env.process(go(env))
+        assert env.run(until=proc) is True  # nothing blows up
+
+    def test_many_sequential_requests_reuse_ports_safely(self):
+        env, a, b = self._pair()
+        app = EchoApp(env)
+        b.open_port(80, app)
+        for _ in range(50):
+            result = run_request(env, a, b.ip, 80)
+            assert result.response.status == 200
+        assert len(app.requests_seen) == 50
+
+    def test_two_servers_same_port_different_hosts(self):
+        env = Environment()
+        net = MiniNet(env)
+        a, b, c = net.host("a"), net.host("b"), net.host("c")
+        sw = net.switch()
+        from repro.net.openflow import FlowEntry, FlowMatch, Output
+
+        pa = net.attach(sw, a)
+        pb = net.attach(sw, b)
+        pc = net.attach(sw, c)
+        for host, port in ((a, pa), (b, pb), (c, pc)):
+            sw.table.install(
+                FlowEntry(FlowMatch(ip_dst=host.ip), [Output(port)]), 0.0
+            )
+        b.open_port(80, EchoApp(env, body_bytes=1))
+        c.open_port(80, EchoApp(env, body_bytes=2))
+        r1 = run_request(env, a, b.ip, 80)
+        r2 = run_request(env, a, c.ip, 80)
+        assert r1.response.body_bytes == 1
+        assert r2.response.body_bytes == 2
+
+
+class TestSDNFramework:
+    def test_barrier_multiple_outstanding(self):
+        from repro.sdnfw import SDNApp
+
+        env = Environment()
+        net = MiniNet(env)
+        sw = net.switch()
+        app = SDNApp(env)
+        dp = app.attach(sw)
+        fired = []
+
+        def go(env):
+            first = dp.barrier()
+            second = dp.barrier()
+            yield first
+            fired.append("first")
+            yield second
+            fired.append("second")
+
+        env.process(go(env))
+        env.run(until=1.0)
+        assert fired == ["first", "second"]
+
+    def test_multiple_datapaths_dispatch_independently(self):
+        from repro.net.openflow import PacketIn
+        from repro.sdnfw import SDNApp
+
+        env = Environment()
+        net = MiniNet(env)
+        sw1, sw2 = net.switch("s1", 1), net.switch("s2", 2)
+
+        seen = []
+
+        class App(SDNApp):
+            def on_packet_in(self, datapath, message):
+                seen.append(datapath.id)
+
+        app = App(env)
+        app.attach(sw1)
+        app.attach(sw2)
+        host1, host2 = net.host("h1"), net.host("h2")
+        net.attach(sw1, host1)
+        net.attach(sw2, host2)
+        # Table-miss SYNs punt to the controller from both switches;
+        # the connects themselves time out (nobody answers).
+        def try_connect(env, src, dst):
+            try:
+                yield from src.connect(dst.ip, 80, timeout=0.2)
+            except ConnectionTimeout:
+                pass
+
+        env.process(try_connect(env, host1, host2))
+        env.process(try_connect(env, host2, host1))
+        env.run(until=2.0)
+        assert sorted(seen) == [1, 2]

@@ -1,0 +1,352 @@
+"""Tests for the OpenFlow data plane and the SDN app framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import HTTPRequest, IPv4Address
+from repro.net.openflow import (
+    Drop,
+    FlowEntry,
+    FlowMatch,
+    FlowMod,
+    FlowRemoved,
+    Output,
+    PacketIn,
+    SetField,
+    ToController,
+)
+from repro.net.openflow.table import (
+    FlowTable,
+    REASON_DELETE,
+    REASON_HARD_TIMEOUT,
+    REASON_IDLE_TIMEOUT,
+)
+from repro.net.packet import Packet, TCPFlags, TCPSegment
+from repro.net.addressing import MACAddress
+from repro.sdnfw import SDNApp
+from repro.sim import Environment
+
+from tests.nethelpers import EchoApp, MiniNet, run_request
+
+
+def _packet(src="10.0.0.1", dst="10.0.0.2", sport=1000, dport=80):
+    return Packet(
+        eth_src=MACAddress(1),
+        eth_dst=MACAddress(2),
+        ip_src=IPv4Address.parse(src),
+        ip_dst=IPv4Address.parse(dst),
+        tcp=TCPSegment(sport, dport, TCPFlags.SYN),
+    )
+
+
+class TestFlowMatch:
+    def test_wildcard_matches_everything(self):
+        assert FlowMatch().matches(_packet())
+
+    def test_exact_fields(self):
+        m = FlowMatch(ip_dst=IPv4Address.parse("10.0.0.2"), tcp_dst=80)
+        assert m.matches(_packet())
+        assert not m.matches(_packet(dport=443))
+        assert not m.matches(_packet(dst="10.0.0.9"))
+
+    def test_specificity(self):
+        assert FlowMatch().specificity == 0
+        assert FlowMatch(ip_src=IPv4Address(1), tcp_dst=80).specificity == 2
+
+
+class TestFlowTable:
+    def test_priority_order(self):
+        table = FlowTable()
+        low = FlowEntry(FlowMatch(), [Drop()], priority=1)
+        high = FlowEntry(FlowMatch(tcp_dst=80), [Output(1)], priority=10)
+        table.install(low, 0.0)
+        table.install(high, 0.0)
+        assert table.lookup(_packet(dport=80)) is high
+        assert table.lookup(_packet(dport=22)) is low
+
+    def test_tie_broken_by_install_order(self):
+        table = FlowTable()
+        first = FlowEntry(FlowMatch(), [Drop()], priority=5)
+        second = FlowEntry(FlowMatch(), [Output(1)], priority=5)
+        table.install(first, 0.0)
+        table.install(second, 0.0)
+        assert table.lookup(_packet()) is first
+
+    def test_miss_returns_none(self):
+        table = FlowTable()
+        table.install(FlowEntry(FlowMatch(tcp_dst=443), [Drop()]), 0.0)
+        assert table.lookup(_packet(dport=80)) is None
+
+    def test_idle_timeout_expiry(self):
+        table = FlowTable()
+        entry = FlowEntry(FlowMatch(), [Drop()], idle_timeout=5.0)
+        table.install(entry, 0.0)
+        assert table.sweep_expired(4.0) == []
+        entry.touch(4.0)
+        assert table.sweep_expired(8.0) == []  # used at t=4, idle until 9
+        assert table.sweep_expired(9.5) == [(entry, REASON_IDLE_TIMEOUT)]
+        assert len(table) == 0
+
+    def test_hard_timeout_beats_activity(self):
+        table = FlowTable()
+        entry = FlowEntry(FlowMatch(), [Drop()], hard_timeout=10.0)
+        table.install(entry, 0.0)
+        entry.touch(9.9)
+        assert table.sweep_expired(10.0) == [(entry, REASON_HARD_TIMEOUT)]
+
+    def test_zero_timeout_never_expires(self):
+        table = FlowTable()
+        entry = FlowEntry(FlowMatch(), [Drop()])
+        table.install(entry, 0.0)
+        assert table.sweep_expired(1e9) == []
+
+    def test_remove_matching_by_cookie(self):
+        table = FlowTable()
+        a = FlowEntry(FlowMatch(tcp_dst=80), [Drop()], cookie="svc-a")
+        b = FlowEntry(FlowMatch(tcp_dst=81), [Drop()], cookie="svc-b")
+        table.install(a, 0.0)
+        table.install(b, 0.0)
+        removed = table.remove_matching(cookie="svc-a")
+        assert removed == [a] and len(table) == 1
+
+
+class TestSetField:
+    def test_rewrites_ip_and_port(self):
+        pkt = _packet()
+        SetField("ip_dst", IPv4Address.parse("10.9.9.9")).apply(pkt)
+        SetField("tcp_dst", 8080).apply(pkt)
+        assert str(pkt.ip_dst) == "10.9.9.9"
+        assert pkt.tcp.dst_port == 8080
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            SetField("ip_dst", "10.0.0.1").apply(_packet())
+        with pytest.raises(ValueError):
+            SetField("nonsense", 1)
+
+
+class _RecordingApp(SDNApp):
+    """Collects packet-in and flow-removed events for assertions."""
+
+    def __init__(self, env):
+        super().__init__(env, "recorder")
+        self.packet_ins: list[PacketIn] = []
+        self.flow_removed: list[FlowRemoved] = []
+
+    def on_packet_in(self, datapath, message):
+        self.packet_ins.append(message)
+
+    def on_flow_removed(self, datapath, message):
+        self.flow_removed.append(message)
+
+
+class TestSwitchDataPlane:
+    def _topo(self):
+        env = Environment()
+        net = MiniNet(env)
+        client, server = net.host("client"), net.host("server")
+        sw = net.switch()
+        cport = net.attach(sw, client)
+        sport = net.attach(sw, server)
+        return env, net, client, server, sw, cport, sport
+
+    def test_forwarding_via_flow_entries(self):
+        env, net, client, server, sw, cport, sport = self._topo()
+        sw.table.install(
+            FlowEntry(FlowMatch(ip_dst=server.ip), [Output(sport)], priority=1), 0.0
+        )
+        sw.table.install(
+            FlowEntry(FlowMatch(ip_dst=client.ip), [Output(cport)], priority=1), 0.0
+        )
+        server.open_port(80, EchoApp(env))
+        result = run_request(env, client, server.ip, 80)
+        assert result.response.status == 200
+        assert sw.stats["miss"] == 0
+
+    def test_table_miss_without_controller_drops(self):
+        env, net, client, server, sw, cport, sport = self._topo()
+        server.open_port(80, EchoApp(env))
+        with pytest.raises(Exception):
+            run_request(env, client, server.ip, 80, timeout=1.0)
+        assert sw.stats["miss"] >= 1
+        assert sw.stats["drop"] >= 1
+
+    def test_rewrite_redirection_is_transparent(self):
+        """Traffic to a 'cloud' IP is rewritten to the edge server and
+        back — the client only ever sees the cloud address."""
+        env, net, client, edge, sw, cport, eport = self._topo()
+        cloud_ip = IPv4Address.parse("203.0.113.10")
+        edge.open_port(8080, EchoApp(env))
+
+        sw.table.install(
+            FlowEntry(
+                FlowMatch(ip_dst=cloud_ip, tcp_dst=80),
+                [
+                    SetField("ip_dst", edge.ip),
+                    SetField("tcp_dst", 8080),
+                    Output(eport),
+                ],
+                priority=10,
+            ),
+            0.0,
+        )
+        sw.table.install(
+            FlowEntry(
+                FlowMatch(ip_src=edge.ip, tcp_src=8080),
+                [
+                    SetField("ip_src", cloud_ip),
+                    SetField("tcp_src", 80),
+                    Output(cport),
+                ],
+                priority=10,
+            ),
+            0.0,
+        )
+
+        def go(env):
+            conn = yield from client.connect(cloud_ip, 80)
+            return conn
+
+        proc = env.process(go(env))
+        conn = env.run(until=proc)
+        # Transparency: the SYN-ACK appeared to come from the cloud IP.
+        assert conn.last_seen_remote_ip == cloud_ip
+
+    def test_packet_in_buffers_and_releases(self):
+        env, net, client, server, sw, cport, sport = self._topo()
+        app = _RecordingApp(env)
+        dp = app.attach(sw)
+        server.open_port(80, EchoApp(env))
+
+        # Reverse path pre-installed; forward path installed on demand.
+        sw.table.install(
+            FlowEntry(FlowMatch(ip_dst=client.ip), [Output(cport)], priority=1), 0.0
+        )
+
+        class OnDemandApp(_RecordingApp):
+            def on_packet_in(self, datapath, message):
+                super().on_packet_in(datapath, message)
+                datapath.add_flow(
+                    FlowMatch(ip_dst=server.ip),
+                    [Output(sport)],
+                    priority=5,
+                    buffer_id=message.buffer_id,
+                )
+
+        app2 = OnDemandApp(env)
+        app2.attach(sw)
+        result = run_request(env, client, server.ip, 80)
+        assert result.response.status == 200
+        # Only the first packet (SYN) was punted; follow-ups hit the flow.
+        assert len(app2.packet_ins) == 1
+
+    def test_held_packet_delays_connect(self):
+        """Holding the buffered packet for 2 s delays the handshake by 2 s."""
+        env, net, client, server, sw, cport, sport = self._topo()
+        server.open_port(80, EchoApp(env))
+        sw.table.install(
+            FlowEntry(FlowMatch(ip_dst=client.ip), [Output(cport)], priority=1), 0.0
+        )
+
+        class HoldingApp(SDNApp):
+            def on_packet_in(self, datapath, message):
+                self.env.process(self._respond_later(datapath, message))
+
+            def _respond_later(self, datapath, message):
+                yield self.env.timeout(2.0)
+                datapath.add_flow(
+                    FlowMatch(ip_dst=server.ip),
+                    [Output(sport)],
+                    priority=5,
+                    buffer_id=message.buffer_id,
+                )
+
+        HoldingApp(env).attach(sw)
+        result = run_request(env, client, server.ip, 80)
+        assert result.time_connect > 2.0
+        assert result.response.status == 200
+
+    def test_flow_removed_on_idle_timeout(self):
+        env, net, client, server, sw, cport, sport = self._topo()
+        app = _RecordingApp(env)
+        app.attach(sw)
+        sw.table.install(
+            FlowEntry(
+                FlowMatch(tcp_dst=80),
+                [Drop()],
+                idle_timeout=1.0,
+                cookie="test-cookie",
+            ),
+            0.0,
+        )
+        env.run(until=3.0)
+        assert len(app.flow_removed) == 1
+        assert app.flow_removed[0].reason == REASON_IDLE_TIMEOUT
+        assert app.flow_removed[0].cookie == "test-cookie"
+        assert len(sw.table) == 0
+
+    def test_flow_mod_delete_notifies(self):
+        env, net, client, server, sw, cport, sport = self._topo()
+        app = _RecordingApp(env)
+        dp = app.attach(sw)
+        dp.add_flow(FlowMatch(tcp_dst=80), [Drop()], cookie="doomed")
+        env.run(until=0.1)
+        assert len(sw.table) == 1
+        dp.delete_flows(cookie="doomed")
+        env.run(until=0.2)
+        assert len(sw.table) == 0
+        assert [m.reason for m in app.flow_removed] == [REASON_DELETE]
+
+    def test_barrier_round_trip(self):
+        env, net, client, server, sw, cport, sport = self._topo()
+        app = _RecordingApp(env)
+        dp = app.attach(sw)
+        times = []
+
+        def proc(env):
+            yield dp.barrier()
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=1.0)
+        assert len(times) == 1
+        assert times[0] == pytest.approx(2 * 200e-6, rel=0.01)
+
+    def test_to_controller_action_punts(self):
+        env, net, client, server, sw, cport, sport = self._topo()
+        app = _RecordingApp(env)
+        app.attach(sw)
+        sw.table.install(
+            FlowEntry(FlowMatch(tcp_dst=80), [ToController()], priority=5), 0.0
+        )
+        def try_connect(env):
+            try:
+                yield from client.connect(server.ip, 80, timeout=0.5)
+            except Exception:
+                pass  # expected: the recorder app never releases the packet
+
+        env.process(try_connect(env))
+        env.run(until=1.0)
+        assert len(app.packet_ins) == 1
+        assert app.packet_ins[0].reason == "action"
+
+    def test_packet_out_with_crafted_packet(self):
+        env, net, client, server, sw, cport, sport = self._topo()
+        app = _RecordingApp(env)
+        dp = app.attach(sw)
+        received = []
+        orig = server.receive
+        server.receive = lambda p, i: (received.append(p), orig(p, i))
+        pkt = _packet(dst=str(server.ip))
+        dp.packet_out(actions=[Output(sport)], packet=pkt)
+        env.run(until=0.1)
+        assert len(received) == 1
+
+    def test_flowmod_validation(self):
+        with pytest.raises(ValueError):
+            FlowMod(command="modify")
+        from repro.net.openflow.messages import PacketOut
+
+        with pytest.raises(ValueError):
+            PacketOut(actions=[], buffer_id=None, packet=None)

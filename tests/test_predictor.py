@@ -1,0 +1,125 @@
+"""Tests for request prediction and proactive deployment."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.predictor import EWMAPredictor, ProactiveDeployer
+from repro.services import DEFAULT_CALIBRATION
+from repro.services.catalog import NGINX
+from repro.testbed import C3Testbed, TestbedConfig
+
+
+class TestEWMAPredictor:
+    def test_needs_minimum_observations(self):
+        p = EWMAPredictor(min_observations=3)
+        p.observe("svc", 0.0)
+        assert p.predicted_next("svc", 1.0) is None
+        p.observe("svc", 10.0)
+        assert p.predicted_next("svc", 11.0) is None
+        p.observe("svc", 20.0)
+        assert p.predicted_next("svc", 21.0) == pytest.approx(30.0)
+
+    def test_learns_stable_period(self):
+        p = EWMAPredictor()
+        for t in (0.0, 60.0, 120.0, 180.0, 240.0):
+            p.observe("svc", t)
+        assert p.interval_estimate("svc") == pytest.approx(60.0)
+        assert p.predicted_next("svc", 241.0) == pytest.approx(300.0)
+
+    def test_adapts_to_changing_period(self):
+        p = EWMAPredictor(alpha=0.5)
+        for t in (0.0, 100.0, 200.0):
+            p.observe("svc", t)
+        for t in (210.0, 220.0, 230.0):
+            p.observe("svc", t)
+        # The estimate has moved well below the original 100 s.
+        assert p.interval_estimate("svc") < 40.0
+
+    def test_simultaneous_arrivals_ignored(self):
+        p = EWMAPredictor()
+        p.observe("svc", 5.0)
+        p.observe("svc", 5.0)
+        p.observe("svc", 5.0)
+        assert p.predicted_next("svc", 6.0) is None
+
+    def test_unknown_service(self):
+        assert EWMAPredictor().predicted_next("ghost", 0.0) is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EWMAPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMAPredictor(min_observations=1)
+
+
+class TestProactiveDeployment:
+    def _testbed(self):
+        calibration = dataclasses.replace(
+            DEFAULT_CALIBRATION,
+            switch_idle_timeout_s=5.0,
+            memory_idle_timeout_s=20.0,
+        )
+        return C3Testbed(
+            TestbedConfig(cluster_types=("docker",), auto_scale_down=True),
+            calibration=calibration,
+        )
+
+    def test_predeploys_before_periodic_visit(self):
+        tb = self._testbed()
+        deployer = tb.controller.enable_proactive(
+            check_interval_s=2.0, lead_time_s=10.0
+        )
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+
+        period = 40.0
+        times = []
+        for _ in range(6):
+            result = tb.run_request(tb.clients[0], svc, NGINX.request)
+            times.append(result.time_total)
+            tb.env.run(until=tb.env.now + period)
+
+        # Early visits are cold (learning); later visits are warm.
+        assert times[0] > 0.1
+        assert times[-1] < 0.05 and times[-2] < 0.05
+        assert deployer.stats["proactive_deployments"] >= 2
+
+    def test_reactive_baseline_stays_cold(self):
+        tb = self._testbed()
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        period = 40.0
+        times = []
+        for _ in range(4):
+            result = tb.run_request(tb.clients[0], svc, NGINX.request)
+            times.append(result.time_total)
+            tb.env.run(until=tb.env.now + period)
+        assert all(t > 0.1 for t in times)
+
+    def test_no_deploy_while_running(self):
+        """The deployer never duplicates an already-running service."""
+        tb = self._testbed()
+        deployer = tb.controller.enable_proactive(
+            check_interval_s=1.0, lead_time_s=100.0
+        )
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        # Keep the service warm by touching it often.
+        for _ in range(5):
+            tb.run_request(tb.clients[0], svc, NGINX.request)
+            tb.env.run(until=tb.env.now + 3.0)
+        assert deployer.stats["proactive_deployments"] == 0
+
+    def test_parameter_validation(self):
+        tb = self._testbed()
+        with pytest.raises(ValueError):
+            ProactiveDeployer(
+                tb.env,
+                tb.controller.dispatcher,
+                tb.service_registry,
+                EWMAPredictor(),
+                check_interval_s=0,
+            )

@@ -1,0 +1,588 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Container,
+    Environment,
+    Event,
+    Interrupt,
+    PriorityStore,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+# ---------------------------------------------------------------------------
+# Environment & events
+# ---------------------------------------------------------------------------
+
+
+class TestEnvironment:
+    def test_starts_at_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(initial_time=12.5).now == 12.5
+
+    def test_run_empty_returns_none(self):
+        assert Environment().run() is None
+
+    def test_run_until_time_advances_clock(self):
+        env = Environment()
+        env.run(until=5.0)
+        assert env.now == 5.0
+
+    def test_run_until_past_time_rejected(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_peek_reports_next_event_time(self):
+        env = Environment()
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+
+    def test_peek_empty_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+    def test_timeout_fires_at_exact_time(self):
+        env = Environment()
+        seen = []
+
+        def proc(env):
+            yield env.timeout(2.5)
+            seen.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert seen == [2.5]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_simultaneous_events_run_in_schedule_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(env, tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "done"
+        assert env.now == 1.0
+
+    def test_run_until_unfired_event_raises(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            env.run(until=ev)
+
+    def test_timeout_carries_value(self):
+        env = Environment()
+        got = []
+
+        def proc(env):
+            got.append((yield env.timeout(1.0, value="payload")))
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["payload"]
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        ev = env.event()
+        got = []
+
+        def waiter(env, ev):
+            got.append((yield ev))
+
+        def firer(env, ev):
+            yield env.timeout(1.0)
+            ev.succeed(42)
+
+        env.process(waiter(env, ev))
+        env.process(firer(env, ev))
+        env.run()
+        assert got == [42]
+
+    def test_double_succeed_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_fail_propagates_into_process(self):
+        env = Environment()
+        caught = []
+
+        def waiter(env, ev):
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        ev = env.event()
+        env.process(waiter(env, ev))
+        ev.fail(ValueError("boom"))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failure_surfaces_from_run(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(ValueError("nobody caught me"))
+        with pytest.raises(ValueError, match="nobody caught me"):
+            env.run()
+
+    def test_value_unavailable_before_trigger(self):
+        env = Environment()
+        with pytest.raises(AttributeError):
+            _ = env.event().value
+
+    def test_already_processed_event_resumes_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("early")
+        env.run()  # processes ev with no listeners
+        got = []
+
+        def late(env, ev):
+            got.append((yield ev))
+            got.append(env.now)
+
+        env.process(late(env, ev))
+        env.run()
+        assert got == ["early", 0.0]
+
+
+class TestConditions:
+    def test_allof_collects_all_values(self):
+        env = Environment()
+        result = {}
+
+        def proc(env):
+            t1 = env.timeout(1.0, value="one")
+            t2 = env.timeout(2.0, value="two")
+            vals = yield AllOf(env, [t1, t2])
+            result["vals"] = list(vals.values())
+            result["t"] = env.now
+
+        env.process(proc(env))
+        env.run()
+        assert result == {"vals": ["one", "two"], "t": 2.0}
+
+    def test_anyof_fires_on_first(self):
+        env = Environment()
+        result = {}
+
+        def proc(env):
+            t1 = env.timeout(1.0, value="fast")
+            t2 = env.timeout(5.0, value="slow")
+            vals = yield AnyOf(env, [t1, t2])
+            result["vals"] = list(vals.values())
+            result["t"] = env.now
+
+        env.process(proc(env))
+        env.run()
+        assert result == {"vals": ["fast"], "t": 1.0}
+
+    def test_and_or_operators(self):
+        env = Environment()
+        times = []
+
+        def proc(env):
+            yield env.timeout(1.0) & env.timeout(2.0)
+            times.append(env.now)
+            yield env.timeout(1.0) | env.timeout(2.0)
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [2.0, 3.0]
+
+    def test_empty_allof_succeeds_immediately(self):
+        env = Environment()
+        got = []
+
+        def proc(env):
+            got.append((yield AllOf(env, [])))
+
+        env.process(proc(env))
+        env.run()
+        assert got == [{}]
+
+    def test_condition_failure_propagates(self):
+        env = Environment()
+        ev = env.event()
+        caught = []
+
+        def proc(env, ev):
+            try:
+                yield AllOf(env, [env.timeout(1.0), ev])
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(proc(env, ev))
+        ev.fail(RuntimeError("child failed"))
+        env.run()
+        assert caught == ["child failed"]
+
+    def test_cross_environment_events_rejected(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(ValueError):
+            AllOf(env1, [env1.event(), env2.event()])
+
+
+class TestProcess:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(1.0)
+            return 99
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return value + 1
+
+        p = env.process(parent(env))
+        assert env.run(until=p) == 100
+
+    def test_process_is_alive_lifecycle(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(5.0)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        log = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as intr:
+                log.append((env.now, intr.cause))
+
+        def attacker(env, victim_proc):
+            yield env.timeout(3.0)
+            victim_proc.interrupt(cause="stop now")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert log == [(3.0, "stop now")]
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        p = env.process(proc(env))
+        env.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_interrupted_process_can_rewait_target(self):
+        env = Environment()
+        log = []
+
+        def victim(env):
+            timeout = env.timeout(10.0)
+            while True:
+                try:
+                    yield timeout
+                    log.append(("fired", env.now))
+                    return
+                except Interrupt:
+                    log.append(("interrupted", env.now))
+
+        def attacker(env, v):
+            yield env.timeout(2.0)
+            v.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert log == [("interrupted", 2.0), ("fired", 10.0)]
+
+    def test_self_interrupt_rejected(self):
+        env = Environment()
+        errors = []
+
+        def proc(env):
+            me = env.active_process
+            try:
+                me.interrupt()
+            except RuntimeError as exc:
+                errors.append(str(exc))
+            yield env.timeout(0)
+
+        env.process(proc(env))
+        env.run()
+        assert len(errors) == 1
+
+    def test_yield_non_event_fails_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42  # type: ignore[misc]
+
+        p = env.process(bad(env))
+        with pytest.raises(RuntimeError, match="non-event"):
+            env.run(until=p)
+
+    def test_exception_in_process_propagates_to_waiter(self):
+        env = Environment()
+        caught = []
+
+        def child(env):
+            yield env.timeout(1.0)
+            raise KeyError("inner")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except KeyError as exc:
+                caught.append(exc.args[0])
+
+        env.process(parent(env))
+        env.run()
+        assert caught == ["inner"]
+
+
+# ---------------------------------------------------------------------------
+# Resources
+# ---------------------------------------------------------------------------
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        active = []
+        peak = []
+
+        def worker(env, res):
+            with res.request() as req:
+                yield req
+                active.append(1)
+                peak.append(len(active))
+                yield env.timeout(1.0)
+                active.pop()
+
+        for _ in range(5):
+            env.process(worker(env, res))
+        env.run()
+        assert max(peak) == 2
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(env, res, tag):
+            with res.request() as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(1.0)
+
+        for tag in range(4):
+            env.process(worker(env, res, tag))
+        env.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_queue_length_and_count(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        def checker(env, res):
+            yield env.timeout(1.0)
+            res.request()
+            yield env.timeout(1.0)
+            assert res.count == 1
+            assert res.queue_length == 1
+
+        env.process(holder(env, res))
+        env.process(checker(env, res))
+        env.run()
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env, store):
+            yield store.put("item")
+
+        def consumer(env, store):
+            got.append((yield store.get()))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def producer(env, store):
+            yield env.timeout(4.0)
+            yield store.put("late")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert got == [("late", 4.0)]
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env, store):
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer(env, store):
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env, store):
+            yield store.put("a")
+            times.append(env.now)
+            yield store.put("b")
+            times.append(env.now)
+
+        def consumer(env, store):
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert times == [0.0, 5.0]
+
+    def test_priority_store_orders_items(self):
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+
+        def producer(env, store):
+            for item in (3, 1, 2):
+                yield store.put(item)
+
+        def consumer(env, store):
+            yield env.timeout(1.0)
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == [1, 2, 3]
+
+
+class TestContainer:
+    def test_levels(self):
+        env = Environment()
+        tank = Container(env, capacity=100, init=50)
+        assert tank.level == 50
+
+        def proc(env, tank):
+            yield tank.get(30)
+            assert tank.level == 20
+            yield tank.put(60)
+            assert tank.level == 80
+
+        env.process(proc(env, tank))
+        env.run()
+        assert tank.level == 80
+
+    def test_get_blocks_until_available(self):
+        env = Environment()
+        tank = Container(env, capacity=10, init=0)
+        times = []
+
+        def taker(env, tank):
+            yield tank.get(5)
+            times.append(env.now)
+
+        def filler(env, tank):
+            yield env.timeout(3.0)
+            yield tank.put(5)
+
+        env.process(taker(env, tank))
+        env.process(filler(env, tank))
+        env.run()
+        assert times == [3.0]
+
+    def test_invalid_amounts_rejected(self):
+        env = Environment()
+        tank = Container(env, capacity=10, init=5)
+        with pytest.raises(ValueError):
+            tank.put(0)
+        with pytest.raises(ValueError):
+            tank.get(-1)
+        with pytest.raises(ValueError):
+            Container(env, capacity=10, init=20)

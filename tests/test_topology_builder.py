@@ -1,0 +1,89 @@
+"""Tests for the declarative topology builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.openflow import FlowEntry, FlowMatch, Output
+from repro.net.packet import HTTPRequest
+from repro.net.topology import NetworkBuilder
+from repro.sim import Environment
+
+from tests.nethelpers import EchoApp
+
+
+class TestNetworkBuilder:
+    def test_host_allocation_and_fixed_ip(self):
+        env = Environment()
+        net = NetworkBuilder(env, ip_base="10.5.0.0")
+        a = net.host("a")
+        b = net.host("b", ip="10.5.0.99")
+        assert str(a.ip) == "10.5.0.1"
+        assert str(b.ip) == "10.5.0.99"
+        assert a.iface.mac != b.iface.mac
+
+    def test_duplicate_names_rejected(self):
+        env = Environment()
+        net = NetworkBuilder(env)
+        net.host("a")
+        net.switch("s")
+        with pytest.raises(ValueError):
+            net.host("a")
+        with pytest.raises(ValueError):
+            net.switch("s")
+
+    def test_unique_datapath_ids(self):
+        env = Environment()
+        net = NetworkBuilder(env)
+        s1, s2 = net.switch("s1"), net.switch("s2")
+        assert s1.datapath_id != s2.datapath_id
+
+    def test_end_to_end_through_two_switches(self):
+        """host A - s1 - s2 - host B with static forwarding rules."""
+        env = Environment()
+        net = NetworkBuilder(env)
+        a, b = net.host("a"), net.host("b")
+        s1, s2 = net.switch("s1"), net.switch("s2")
+        pa = net.attach(s1, a)
+        pb = net.attach(s2, b)
+        t1, t2 = net.trunk(s1, s2)
+
+        s1.table.install(FlowEntry(FlowMatch(ip_dst=b.ip), [Output(t1)]), 0.0)
+        s1.table.install(FlowEntry(FlowMatch(ip_dst=a.ip), [Output(pa)]), 0.0)
+        s2.table.install(FlowEntry(FlowMatch(ip_dst=b.ip), [Output(pb)]), 0.0)
+        s2.table.install(FlowEntry(FlowMatch(ip_dst=a.ip), [Output(t2)]), 0.0)
+
+        b.open_port(80, EchoApp(env))
+        proc = env.process(a.http_request(b.ip, 80, HTTPRequest("GET", "/")))
+        result = env.run(until=proc)
+        assert result.response.status == 200
+
+    def test_cloud_host_serves_multiple_addresses(self):
+        from repro.net.addressing import IPv4Address
+
+        env = Environment()
+        net = NetworkBuilder(env)
+        client = net.host("client")
+        cloud = net.cloud()
+        net.wire(client, cloud)
+        ip1 = IPv4Address.parse("203.0.113.1")
+        ip2 = IPv4Address.parse("203.0.113.2")
+        cloud.open_service(ip1, 80, EchoApp(env, body_bytes=11))
+        cloud.open_service(ip2, 80, EchoApp(env, body_bytes=22))
+
+        def go(env):
+            r1 = yield from client.http_request(ip1, 80, HTTPRequest("GET", "/"))
+            r2 = yield from client.http_request(ip2, 80, HTTPRequest("GET", "/"))
+            return r1, r2
+
+        r1, r2 = env.run(until=env.process(go(env)))
+        assert r1.response.body_bytes == 11
+        assert r2.response.body_bytes == 22
+
+    def test_port_bookkeeping(self):
+        env = Environment()
+        net = NetworkBuilder(env)
+        a = net.host("a")
+        s = net.switch("s")
+        port = net.attach(s, a)
+        assert net.port_of("s", "a") == port

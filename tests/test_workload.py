@@ -1,0 +1,132 @@
+"""Tests for the bigFlows-like trace generator and timecurl client."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.services.catalog import NGINX
+from repro.testbed import C3Testbed, TestbedConfig
+from repro.workload import BigFlowsParams, TimecurlClient, generate_trace
+from repro.workload.bigflows import (
+    RequestEvent,
+    first_occurrences,
+    requests_per_bucket,
+)
+
+
+class TestBigFlowsTrace:
+    def test_paper_marginals(self):
+        """42 services, 1708 requests, 300 s, every service >= 20."""
+        params = BigFlowsParams()
+        events = generate_trace(params, seed=1)
+        assert len(events) == 1708
+        per_service = {}
+        for e in events:
+            per_service[e.service_index] = per_service.get(e.service_index, 0) + 1
+        assert len(per_service) == 42
+        assert min(per_service.values()) >= 20
+        assert max(e.time_s for e in events) < 300.0
+        assert min(e.time_s for e in events) >= 0.0
+
+    def test_heavy_tailed_counts(self):
+        events = generate_trace(seed=2)
+        counts = sorted(
+            np.bincount([e.service_index for e in events]), reverse=True
+        )
+        # The hottest service gets several times the minimum.
+        assert counts[0] > 3 * counts[-1]
+
+    def test_deterministic_given_seed(self):
+        assert generate_trace(seed=7) == generate_trace(seed=7)
+        assert generate_trace(seed=7) != generate_trace(seed=8)
+
+    def test_sorted_by_time(self):
+        events = generate_trace(seed=3)
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+
+    def test_early_deployment_burst(self):
+        """Fig. 10's shape: many first-occurrences in the first seconds."""
+        params = BigFlowsParams()
+        events = generate_trace(params, seed=4)
+        firsts = list(first_occurrences(events).values())
+        early = sum(1 for t in firsts if t <= params.early_window_s)
+        assert early >= int(0.35 * params.n_services)
+        # And a deployment burst: some 1-second bucket sees >= 4 starts.
+        buckets = np.bincount([int(t) for t in firsts])
+        assert buckets.max() >= 4
+
+    def test_clients_in_range(self):
+        params = BigFlowsParams(n_clients=20)
+        events = generate_trace(params, seed=5)
+        assert all(0 <= e.client_index < 20 for e in events)
+        assert len({e.client_index for e in events}) > 10
+
+    def test_requests_per_bucket_totals(self):
+        events = generate_trace(seed=6)
+        buckets = requests_per_bucket(events, bucket_s=10.0, duration_s=300.0)
+        assert len(buckets) == 30
+        assert sum(buckets) == 1708
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            BigFlowsParams(n_services=100, n_requests=50)
+        with pytest.raises(ValueError):
+            BigFlowsParams(min_requests_per_service=100)
+        with pytest.raises(ValueError):
+            BigFlowsParams(duration_s=0)
+        with pytest.raises(ValueError):
+            BigFlowsParams(early_fraction=1.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_services=st.integers(min_value=1, max_value=60),
+        extra=st.integers(min_value=0, max_value=2000),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_marginals_property(self, n_services, extra, seed):
+        """Counts always sum exactly and respect the minimum."""
+        minimum = 5
+        params = BigFlowsParams(
+            n_services=n_services,
+            n_requests=n_services * minimum + extra,
+            min_requests_per_service=minimum,
+        )
+        events = generate_trace(params, seed=seed)
+        assert len(events) == params.n_requests
+        counts = np.bincount(
+            [e.service_index for e in events], minlength=n_services
+        )
+        assert counts.min() >= minimum
+        assert counts.sum() == params.n_requests
+
+
+class TestTimecurl:
+    def test_fetch_records_time_total(self):
+        tb = C3Testbed(TestbedConfig(cluster_types=("docker",)))
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        tc = TimecurlClient(tb.clients[0], tb.recorder)
+
+        proc = tb.env.process(tc.fetch(svc, NGINX.request))
+        sample = tb.env.run(until=proc)
+        assert sample.ok and sample.status == 200
+        assert sample.time_total > sample.time_connect > 0
+        assert tb.recorder.samples("time_total/nginx") == [sample.time_total]
+
+    def test_fetch_records_error_on_timeout(self):
+        tb = C3Testbed(
+            TestbedConfig(cluster_types=("docker",)),
+        )
+        svc = tb.register_template(NGINX)
+        # Sabotage: close the cloud service and never deploy (no images
+        # in registries would stall, so instead use a tiny timeout).
+        tc = TimecurlClient(tb.clients[0], tb.recorder, timeout_s=0.001)
+        proc = tb.env.process(tc.fetch(svc, NGINX.request))
+        sample = tb.env.run(until=proc)
+        assert not sample.ok
+        assert sample.error == "ConnectionTimeout"
+        assert tb.recorder.samples("timecurl_errors/nginx") == [1.0]

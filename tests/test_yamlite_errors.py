@@ -1,0 +1,87 @@
+"""Error reporting and edge cases of the YAML-subset parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import yamlite
+from repro.yamlite import YamlError
+
+
+class TestErrorReporting:
+    def test_error_carries_line_number(self):
+        text = "a: 1\nb: 2\n  broken: indent\n"
+        with pytest.raises(YamlError) as excinfo:
+            yamlite.load(text)
+        assert excinfo.value.line == 3
+        assert "line 3" in str(excinfo.value)
+
+    def test_duplicate_key_line(self):
+        with pytest.raises(YamlError) as excinfo:
+            yamlite.load("a: 1\nb: 2\na: 3\n")
+        assert excinfo.value.line == 3
+
+    def test_unterminated_quote(self):
+        with pytest.raises(YamlError, match="unterminated"):
+            yamlite.load('key: "oops\n')
+
+    def test_unterminated_flow_mapping(self):
+        with pytest.raises(YamlError, match="unterminated flow mapping"):
+            yamlite.load("x: {a: 1\n")
+
+    def test_bad_flow_mapping_item(self):
+        with pytest.raises(YamlError, match="key: value"):
+            yamlite.load("x: {notakv}\n")
+
+
+class TestParsingEdgeCases:
+    def test_crlf_input(self):
+        assert yamlite.load("a: 1\r\nb: 2\r\n") == {"a": 1, "b": 2}
+
+    def test_deeply_nested(self):
+        depth = 30
+        text = ""
+        for i in range(depth):
+            text += "  " * i + f"k{i}:\n"
+        text += "  " * depth + "leaf: 1\n"
+        doc = yamlite.load(text)
+        node = doc
+        for i in range(depth):
+            node = node[f"k{i}"]
+        assert node == {"leaf": 1}
+
+    def test_keys_with_special_characters(self):
+        doc = yamlite.load('"a: b": 1\nnormal: 2\n')
+        assert doc == {"a: b": 1, "normal": 2}
+
+    def test_sequence_item_with_flow_value(self):
+        assert yamlite.load("- [1, 2]\n- {a: 1}\n") == [[1, 2], {"a": 1}]
+
+    def test_comment_only_document(self):
+        assert yamlite.load("# nothing here\n# at all\n") is None
+
+    def test_document_end_marker(self):
+        assert yamlite.load("a: 1\n...\n") == {"a": 1}
+
+    def test_negative_and_plus_numbers(self):
+        doc = yamlite.load("a: -5\nb: +3\nc: -2.5\n")
+        assert doc == {"a": -5, "b": 3, "c": -2.5}
+
+    def test_k8s_quantity_strings_survive(self):
+        """K8s resource quantities must not be parsed as numbers."""
+        doc = yamlite.load('mem: 512Mi\ncpu: 250m\nexp: 1e3\n')
+        assert doc == {"mem": "512Mi", "cpu": "250m", "exp": "1e3"}
+
+
+class TestEmitterEdgeCases:
+    def test_ambiguous_strings_quoted(self):
+        for value in ("true", "null", "42", "3.14", ""):
+            dumped = yamlite.dump({"k": value})
+            assert yamlite.load(dumped) == {"k": value}
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            yamlite.dump({"k": object()})
+
+    def test_non_string_keys_coerced(self):
+        assert yamlite.load(yamlite.dump({1: "a"})) == {"1": "a"}

@@ -1,0 +1,135 @@
+"""Pack installed build dependencies into local wheels.
+
+Offline pip cannot populate PEP 517 build environments from an index.
+This script creates ``setuptools`` and ``wheel`` wheels from what is
+already importable and drops them into a find-links directory; with
+
+    [global]
+    find-links = /root/wheels
+    retries = 0
+
+in ``pip.conf``, plain ``pip install -e .`` works offline, build
+isolation included.
+
+Usage:  python tools/wheel_shim/build_local_wheels.py [dest_dir]
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import site
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__)))
+
+from wheel.wheelfile import WheelFile  # the shim's implementation
+
+
+def _write_dist_info(
+    root: str,
+    name: str,
+    version: str,
+    packages: list[str],
+    entry_points_source: str | None = None,
+) -> str:
+    dist_info = os.path.join(root, f"{name}-{version}.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as handle:
+        handle.write(
+            f"Metadata-Version: 2.1\nName: {name}\nVersion: {version}\n"
+            f"Summary: locally repacked {name}\n"
+        )
+    with open(os.path.join(dist_info, "WHEEL"), "w") as handle:
+        handle.write(
+            "Wheel-Version: 1.0\nGenerator: build_local_wheels\n"
+            "Root-Is-Purelib: true\nTag: py3-none-any\n"
+        )
+    if entry_points_source and os.path.exists(entry_points_source):
+        # setuptools *requires* its own entry points at runtime: the
+        # `distutils.setup_keywords` group defaults Distribution
+        # attributes like include_package_data.
+        shutil.copy(
+            entry_points_source, os.path.join(dist_info, "entry_points.txt")
+        )
+    elif name == "wheel":
+        with open(os.path.join(dist_info, "entry_points.txt"), "w") as handle:
+            handle.write(
+                "[distutils.commands]\n"
+                "bdist_wheel = wheel.bdist_wheel:bdist_wheel\n"
+            )
+    return dist_info
+
+
+def _pack(
+    name: str,
+    version: str,
+    packages: list[str],
+    source_root: str,
+    dest: str,
+    extra_files: list[str] = (),
+    entry_points_source: str | None = None,
+) -> str:
+    wheel_path = os.path.join(dest, f"{name}-{version}-py3-none-any.whl")
+    if os.path.exists(wheel_path):
+        os.unlink(wheel_path)
+    with tempfile.TemporaryDirectory() as staging:
+        for package in packages:
+            source = os.path.join(source_root, package)
+            if os.path.isdir(source):
+                shutil.copytree(
+                    source,
+                    os.path.join(staging, package),
+                    ignore=shutil.ignore_patterns("__pycache__"),
+                )
+            elif os.path.isfile(source + ".py"):
+                shutil.copy(source + ".py", os.path.join(staging, package + ".py"))
+        for extra in extra_files:
+            shutil.copy(os.path.join(source_root, extra), os.path.join(staging, extra))
+        _write_dist_info(
+            staging, name, version, packages, entry_points_source
+        )
+        with WheelFile(wheel_path, "w") as wf:
+            wf.write_files(staging)
+    return wheel_path
+
+
+def main() -> int:
+    dest = sys.argv[1] if len(sys.argv) > 1 else "/root/wheels"
+    os.makedirs(dest, exist_ok=True)
+    site_packages = site.getsitepackages()[0]
+
+    import setuptools
+
+    built = [
+        _pack(
+            "setuptools",
+            setuptools.__version__,
+            ["setuptools", "pkg_resources", "_distutils_hack"],
+            site_packages,
+            dest,
+            # Redirects stdlib distutils to setuptools' bundled copy;
+            # without it the build env mixes the two Distribution types.
+            extra_files=["distutils-precedence.pth"],
+            entry_points_source=os.path.join(
+                site_packages,
+                f"setuptools-{setuptools.__version__}.dist-info",
+                "entry_points.txt",
+            ),
+        ),
+        _pack(
+            "wheel",
+            "0.40.0",
+            ["wheel"],
+            os.path.join(os.path.dirname(os.path.abspath(__file__))),
+            dest,
+        ),
+    ]
+    for path in built:
+        print("built", path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Install the wheel shim into the current interpreter's site-packages.
+
+Usage:  python tools/wheel_shim/install.py
+
+Copies the ``wheel`` package and writes a ``wheel-<ver>.dist-info`` so
+setuptools discovers the ``bdist_wheel`` command through the
+``distutils.commands`` entry point — after which ``pip install -e .``
+works in this offline, wheel-less environment.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import site
+import sys
+
+
+def main() -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    source = os.path.join(here, "wheel")
+    site_packages = site.getsitepackages()[0]
+
+    target = os.path.join(site_packages, "wheel")
+    if os.path.exists(target):
+        shutil.rmtree(target)
+    shutil.copytree(source, target)
+
+    sys.path.insert(0, source + "/..")
+    from wheel import __version__
+
+    dist_info = os.path.join(site_packages, f"wheel-{__version__}.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as handle:
+        handle.write(
+            "Metadata-Version: 2.1\n"
+            f"Name: wheel\nVersion: {__version__}\n"
+            "Summary: Minimal wheel shim for offline PEP 660 installs\n"
+        )
+    with open(os.path.join(dist_info, "entry_points.txt"), "w") as handle:
+        handle.write(
+            "[distutils.commands]\n"
+            "bdist_wheel = wheel.bdist_wheel:bdist_wheel\n"
+        )
+    with open(os.path.join(dist_info, "RECORD"), "w") as handle:
+        for root, _dirs, files in os.walk(target):
+            for name in files:
+                rel = os.path.relpath(os.path.join(root, name), site_packages)
+                handle.write(f"{rel},,\n")
+        handle.write(f"wheel-{__version__}.dist-info/METADATA,,\n")
+        handle.write(f"wheel-{__version__}.dist-info/entry_points.txt,,\n")
+        handle.write(f"wheel-{__version__}.dist-info/RECORD,,\n")
+
+    print(f"wheel shim installed into {site_packages}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Minimal `wheel` package shim for offline environments.
+
+This execution environment has no network access and no `wheel`
+distribution, but pip ≥ 23 builds even *editable* installs through
+PEP 517/660, which requires setuptools' `bdist_wheel`/`editable_wheel`
+machinery — and that machinery imports from `wheel`.
+
+This shim implements exactly the surface setuptools 65 uses:
+
+* :class:`wheel.wheelfile.WheelFile` — a RECORD-writing zip file,
+* :class:`wheel.bdist_wheel.bdist_wheel` — the distutils command with
+  ``get_tag`` / ``write_wheelfile`` / ``egg2dist`` plus a pure-Python
+  ``run``.
+
+Install with ``python tools/wheel_shim/install.py`` (copies the
+package and its dist-info into site-packages).
+"""
+
+__version__ = "0.40.0.shim"

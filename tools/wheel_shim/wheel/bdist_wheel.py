@@ -1,0 +1,226 @@
+"""The bdist_wheel distutils command (pure-Python subset).
+
+Implements what setuptools 65's PEP 517/660 backend calls:
+``get_tag()``, ``write_wheelfile(dir)``, ``egg2dist(egg_info,
+dist_info)``, and a ``run()`` that builds pure-Python wheels (enough
+for ``pip install .`` / ``pip wheel`` of pure projects; C extensions
+are out of scope for the shim).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import sys
+
+from distutils import log
+from distutils.core import Command
+
+from wheel import __version__ as _wheel_version
+from wheel.wheelfile import WheelFile
+
+
+def safer_name(name: str) -> str:
+    return re.sub(r"[^\w\d.]+", "_", name, flags=re.UNICODE)
+
+
+def safer_version(version: str) -> str:
+    return re.sub(r"[^\w\d.+]+", "_", version, flags=re.UNICODE)
+
+
+class bdist_wheel(Command):
+    description = "create a wheel distribution (shim)"
+
+    user_options = [
+        ("bdist-dir=", "b", "temporary directory for creating the distribution"),
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("keep-temp", "k", "keep the pseudo-installation tree"),
+        ("universal", None, "make a universal wheel (deprecated)"),
+        ("python-tag=", None, "Python implementation compatibility tag"),
+        ("build-number=", None, "build number for this particular version"),
+        ("plat-name=", "p", "platform name to embed in generated filenames"),
+        ("py-limited-api=", None, "Python 'limited api' (abi3) tag"),
+    ]
+
+    boolean_options = ["keep-temp", "universal"]
+
+    def initialize_options(self):
+        self.bdist_dir = None
+        self.dist_dir = None
+        self.keep_temp = False
+        self.universal = False
+        self.python_tag = f"py{sys.version_info[0]}"
+        self.build_number = None
+        self.plat_name = None
+        self.py_limited_api = False
+        self.data_dir = None
+
+    def finalize_options(self):
+        if self.bdist_dir is None:
+            bdist_base = self.get_finalized_command("bdist").bdist_base
+            self.bdist_dir = os.path.join(bdist_base, "wheel")
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+        wheel_name = safer_name(self.distribution.get_name())
+        self.data_dir = f"{wheel_name}-{self.distribution.get_version()}.data"
+
+    # -- naming/tagging -----------------------------------------------------
+
+    @property
+    def wheel_dist_name(self) -> str:
+        components = [
+            safer_name(self.distribution.get_name()),
+            safer_version(self.distribution.get_version()),
+        ]
+        if self.build_number:
+            components.append(self.build_number)
+        return "-".join(components)
+
+    def get_tag(self) -> tuple[str, str, str]:
+        """The wheel's (impl, abi, platform) tag triple.
+
+        The shim only builds pure-Python wheels; a project with
+        ext_modules gets the interpreter-specific tag but no ABI
+        handling (unsupported here).
+        """
+        if self.distribution.has_ext_modules():
+            impl = f"cp{sys.version_info[0]}{sys.version_info[1]}"
+            return (impl, "none", (self.plat_name or "linux_x86_64"))
+        return (self.python_tag, "none", "any")
+
+    @property
+    def root_is_pure(self) -> bool:
+        return not self.distribution.has_ext_modules()
+
+    # -- metadata files -----------------------------------------------------
+
+    def write_wheelfile(self, wheelfile_base: str, generator: str | None = None) -> None:
+        """Write the ``WHEEL`` metadata file into a dist-info dir."""
+        generator = generator or f"wheel-shim ({_wheel_version})"
+        tag = "-".join(self.get_tag())
+        lines = [
+            "Wheel-Version: 1.0",
+            f"Generator: {generator}",
+            f"Root-Is-Purelib: {'true' if self.root_is_pure else 'false'}",
+            f"Tag: {tag}",
+        ]
+        if self.build_number:
+            lines.append(f"Build: {self.build_number}")
+        os.makedirs(wheelfile_base, exist_ok=True)
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+    def egg2dist(self, egginfo_path: str, distinfo_path: str) -> None:
+        """Convert an ``*.egg-info`` directory into ``*.dist-info``."""
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+
+        pkginfo = os.path.join(egginfo_path, "PKG-INFO")
+        metadata = self._pkginfo_to_metadata(egginfo_path, pkginfo)
+        with open(
+            os.path.join(distinfo_path, "METADATA"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(metadata)
+
+        for name in ("entry_points.txt", "top_level.txt"):
+            source = os.path.join(egginfo_path, name)
+            if os.path.exists(source):
+                shutil.copy(source, os.path.join(distinfo_path, name))
+
+        self.write_wheelfile(distinfo_path)
+
+    @staticmethod
+    def _parse_requires_txt(path: str) -> list[str]:
+        """requires.txt sections -> PEP 508 Requires-Dist lines."""
+        requires: list[str] = []
+        extra = None
+        marker = None
+        with open(path, encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                if line.startswith("[") and line.endswith("]"):
+                    section = line[1:-1]
+                    extra, _, marker = section.partition(":")
+                    extra = extra.strip() or None
+                    marker = marker.strip() or None
+                    continue
+                conditions = []
+                if marker:
+                    conditions.append(f"({marker})" if " " in marker else marker)
+                if extra:
+                    conditions.append(f'extra == "{extra}"')
+                if conditions:
+                    requires.append(f"{line} ; {' and '.join(conditions)}")
+                else:
+                    requires.append(line)
+        return requires
+
+    def _pkginfo_to_metadata(self, egginfo_path: str, pkginfo_path: str) -> str:
+        with open(pkginfo_path, encoding="utf-8") as handle:
+            metadata = handle.read()
+        head, sep, body = metadata.partition("\n\n")
+        lines = [l for l in head.splitlines() if not l.startswith("Metadata-Version")]
+        lines.insert(0, "Metadata-Version: 2.1")
+
+        requires_path = os.path.join(egginfo_path, "requires.txt")
+        if os.path.exists(requires_path):
+            extras_seen = set()
+            for require in self._parse_requires_txt(requires_path):
+                if 'extra == "' in require:
+                    extra = require.split('extra == "')[1].split('"')[0]
+                    if extra not in extras_seen:
+                        extras_seen.add(extra)
+                        lines.append(f"Provides-Extra: {extra}")
+                lines.append(f"Requires-Dist: {require}")
+        return "\n".join(lines) + (sep + body if sep else "\n")
+
+    # -- building a real wheel -------------------------------------------------
+
+    def run(self):
+        build_scripts = self.reinitialize_command("build_scripts")
+        build_scripts.executable = "python"
+        build_scripts.force = True
+
+        self.run_command("build")
+        install = self.reinitialize_command("install", reinit_subcommands=True)
+        install.root = self.bdist_dir
+        install.compile = False
+        install.skip_build = True
+        install.warn_dir = False
+        # Flatten purelib/platlib into the wheel root.
+        basedir_observed = os.path.join(self.bdist_dir, "_nonsense")
+        install.install_purelib = basedir_observed
+        install.install_platlib = basedir_observed
+        install.install_lib = basedir_observed
+        install.install_headers = os.path.join(self.data_dir, "headers")
+        install.install_scripts = os.path.join(self.data_dir, "scripts")
+        install.install_data = os.path.join(self.data_dir, "data")
+        self.run_command("install")
+
+        dist_info_name = f"{self.wheel_dist_name}.dist-info"
+        distinfo_path = os.path.join(basedir_observed, dist_info_name)
+        self.run_command("egg_info")
+        egg_info = self.get_finalized_command("egg_info")
+        self.egg2dist(egg_info.egg_info, distinfo_path)
+
+        os.makedirs(self.dist_dir, exist_ok=True)
+        tag = "-".join(self.get_tag())
+        wheel_path = os.path.join(
+            self.dist_dir, f"{self.wheel_dist_name}-{tag}.whl"
+        )
+        with WheelFile(wheel_path, "w") as wf:
+            wf.write_files(basedir_observed)
+        log.info("created wheel %s", wheel_path)
+
+        if not self.keep_temp:
+            shutil.rmtree(self.bdist_dir, ignore_errors=True)
+
+        # Let `pip` find what was built.
+        getattr(self.distribution, "dist_files", []).append(
+            ("bdist_wheel", f"{sys.version_info[0]}.{sys.version_info[1]}", wheel_path)
+        )

@@ -1,0 +1,96 @@
+"""WheelFile: a zip archive that maintains its PEP 376 RECORD."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import stat
+import time
+import zipfile
+
+_DIST_INFO_RE = re.compile(
+    r"^(?P<namever>(?P<name>[^\s-]+?)-(?P<ver>[^\s-]+?))(-(?P<build>\d[^\s-]*))?"
+    r"-(?P<pyver>[^\s-]+?)-(?P<abi>[^\s-]+?)-(?P<plat>[^\s-]+?)\.whl$"
+)
+
+
+def _urlsafe_b64(data: bytes) -> str:
+    return base64.urlsafe_b64encode(data).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """A ZipFile that records hashes and writes RECORD on close."""
+
+    def __init__(self, file, mode: str = "r", compression=zipfile.ZIP_DEFLATED):
+        basename = os.path.basename(os.fspath(file))
+        match = _DIST_INFO_RE.match(basename)
+        if match:
+            self.parsed_filename = match
+            self.dist_info_path = (
+                f"{match.group('namever')}.dist-info"
+            )
+        else:  # tolerate non-canonical names
+            stem = basename[:-4] if basename.endswith(".whl") else basename
+            self.dist_info_path = stem.split("-py")[0] + ".dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._file_hashes: dict[str, tuple[str, int] | None] = {}
+        super().__init__(file, mode, compression=compression)
+
+    # -- writing ----------------------------------------------------------
+
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        name = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else zinfo_or_arcname
+        )
+        self._record(name, data)
+
+    def write(self, filename, arcname=None, *args, **kwargs):
+        with open(filename, "rb") as handle:
+            data = handle.read()
+        zinfo = zipfile.ZipInfo(
+            arcname or str(filename), date_time=time.localtime(time.time())[:6]
+        )
+        zinfo.external_attr = (stat.S_IMODE(os.stat(filename).st_mode) | stat.S_IFREG) << 16
+        zinfo.compress_type = self.compression
+        super().writestr(zinfo, data)
+        self._record(zinfo.filename, data)
+
+    def write_files(self, base_dir: str) -> None:
+        """Add every file under ``base_dir`` (sorted, deterministic)."""
+        collected = []
+        for root, dirs, files in os.walk(base_dir):
+            dirs.sort()
+            for name in sorted(files):
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                collected.append((path, arcname))
+        for path, arcname in collected:
+            if arcname != self.record_path:
+                self.write(path, arcname)
+
+    def _record(self, name: str, data: bytes) -> None:
+        if name == self.record_path:
+            return
+        digest = _urlsafe_b64(hashlib.sha256(data).digest())
+        self._file_hashes[name] = (f"sha256={digest}", len(data))
+
+    # -- finalisation ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self.fp is not None and self.mode == "w" and self._file_hashes:
+            lines = [
+                f"{name},{hash_},{size}"
+                for name, (hash_, size) in sorted(self._file_hashes.items())
+            ]
+            lines.append(f"{self.record_path},,")
+            data = ("\n".join(lines) + "\n").encode("utf-8")
+            super().writestr(self.record_path, data)
+            self._file_hashes.clear()
+        super().close()
