@@ -1,0 +1,9 @@
+"""Wall-clock performance benchmarks (the perf trajectory baseline).
+
+Unlike the figure-regeneration benchmarks in ``benchmarks/``, the
+modules here measure *wall-clock* throughput of the simulator itself:
+how fast the kernel, the switch data path, and the control loops chew
+through the bigFlows trace replay.  ``tools/bench_throughput.py`` is
+the CLI entry point; ``BENCH_PR1.json`` records the baseline every
+later PR is measured against.
+"""

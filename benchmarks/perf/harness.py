@@ -1,0 +1,145 @@
+"""Shared wall-clock benchmark harness for the bigFlows trace replay.
+
+Builds the same testbed as :func:`repro.experiments.trace_replay`
+(42 pre-created Nginx services on the Docker cluster, 20 clients) and
+replays the generated trace at an integer *scale*: ``scale=10`` issues
+10x the paper's 1708 requests over the same 300 s capture window, so
+the request rate — and with it the live flow-table size — grows with
+the scale.  That makes the replay a direct stress test of the
+per-packet hot path.
+
+The harness measures *wall-clock* seconds (how fast the simulator
+runs), never simulated seconds (which must stay byte-identical across
+optimisations — ``latency_md5`` fingerprints the full latency sequence
+so any semantic drift is caught immediately).
+
+Works against older revisions of the tree as well: kernel event
+counters and flow-table peak tracking are read via ``getattr`` with a
+cheap fallback, so the same harness can record a pre-change baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+import typing as _t
+
+from repro.services.catalog import NGINX
+from repro.testbed import C3Testbed, TestbedConfig
+from repro.workload import BigFlowsParams, TraceDriver, generate_trace
+
+#: Scales the full benchmark sweep runs at.
+DEFAULT_SCALES = (1, 10, 50)
+#: Trace seed shared by all benchmark runs (same as the experiments).
+DEFAULT_SEED = 42
+
+
+@dataclasses.dataclass
+class BenchResult:
+    """One scale's measurement."""
+
+    scale: int
+    n_requests: int
+    n_ok: int
+    n_errors: int
+    wall_s: float
+    sim_s: float
+    requests_per_sec: float
+    #: Kernel events processed during the replay (None when the kernel
+    #: predates the counter, e.g. a pre-change baseline run).
+    events: int | None
+    events_per_sec: float | None
+    peak_flow_table: int
+    final_flow_table: int
+    #: MD5 over the full ``time_total`` sequence (17 significant
+    #: digits, sample order) — byte-identity fingerprint of the
+    #: simulated-time results.
+    latency_md5: str
+
+    def to_json(self) -> dict[str, _t.Any]:
+        return dataclasses.asdict(self)
+
+
+def fingerprint_latencies(time_totals: _t.Iterable[float]) -> str:
+    """MD5 of the latency sequence at full float precision."""
+    digest = hashlib.md5()
+    for value in time_totals:
+        digest.update(f"{value:.17g}\n".encode("ascii"))
+    return digest.hexdigest()
+
+
+def scaled_params(scale: int, base: BigFlowsParams | None = None) -> BigFlowsParams:
+    """The paper's workload with ``scale``x the request volume."""
+    base = base or BigFlowsParams()
+    return dataclasses.replace(base, n_requests=base.n_requests * scale)
+
+
+def run_replay_benchmark(
+    scale: int = 1,
+    seed: int = DEFAULT_SEED,
+    cluster_type: str = "docker",
+) -> BenchResult:
+    """Replay the bigFlows trace at ``scale``x and measure wall-clock."""
+    params = scaled_params(scale)
+    tb = C3Testbed(TestbedConfig(cluster_types=(cluster_type,)))
+    cluster = tb.docker_cluster if cluster_type == "docker" else tb.k8s_cluster
+    assert cluster is not None
+    services = [tb.register_template(NGINX) for _ in range(params.n_services)]
+    for service in services:
+        tb.prepare_created(cluster, service)
+    tb.settle(1.0)
+
+    table = tb.switch.table
+    # Older trees lack native peak tracking: patch a max() into install.
+    peak_tracker: list[int] = [len(table)]
+    if getattr(table, "peak_size", None) is None:
+        original_install = table.install
+
+        def tracking_install(entry, now):
+            original_install(entry, now)
+            if len(table) > peak_tracker[0]:
+                peak_tracker[0] = len(table)
+
+        table.install = tracking_install  # type: ignore[method-assign]
+
+    events = generate_trace(params, seed=seed)
+    driver = TraceDriver(
+        tb.env,
+        tb.clients,
+        services,
+        requests={s.name: NGINX.request for s in services},
+        recorder=tb.recorder,
+    )
+
+    sim_start = tb.env.now
+    events_before = getattr(tb.env, "events_processed", None)
+    wall_start = time.perf_counter()
+    summary = driver.run(events)
+    wall_s = time.perf_counter() - wall_start
+    events_after = getattr(tb.env, "events_processed", None)
+
+    n_events: int | None = None
+    if events_before is not None and events_after is not None:
+        n_events = events_after - events_before
+
+    peak = getattr(table, "peak_size", None)
+    if peak is None:
+        peak = peak_tracker[0]
+
+    return BenchResult(
+        scale=scale,
+        n_requests=summary.n_requests,
+        n_ok=summary.n_ok,
+        n_errors=summary.n_errors,
+        wall_s=round(wall_s, 3),
+        sim_s=round(tb.env.now - sim_start, 6),
+        requests_per_sec=round(summary.n_requests / wall_s, 1),
+        events=n_events,
+        events_per_sec=round(n_events / wall_s, 1) if n_events else None,
+        peak_flow_table=int(peak),
+        final_flow_table=len(table),
+        latency_md5=fingerprint_latencies(
+            s.time_total for s in summary.samples
+        ),
+    )

@@ -1,0 +1,54 @@
+"""Perf smoke gate: trace-replay wall-clock must stay near the recorded
+baseline.
+
+Opt-in (it is wall-clock-sensitive, so not part of tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -m perf -q
+
+Equivalent CLI form (what CI wires in)::
+
+    PYTHONPATH=src python tools/bench_throughput.py --check
+
+Both reuse the same check: rerun the smallest scale recorded in
+``BENCH_PR1.json`` and fail if wall-clock regressed beyond 2x or the
+latency fingerprint (simulated-time results) drifted.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from benchmarks.perf.harness import run_replay_benchmark
+
+_REPORT = pathlib.Path(__file__).resolve().parents[2] / "BENCH_PR1.json"
+
+#: Wall-clock head-room over the recorded baseline before we call it a
+#: regression (noisy-neighbour tolerance, matching --tolerance).
+TOLERANCE = 2.0
+
+
+@pytest.mark.perf
+def test_trace_replay_wall_clock_within_tolerance():
+    if not _REPORT.exists():
+        pytest.skip("no BENCH_PR1.json baseline recorded")
+    recorded = json.loads(_REPORT.read_text())
+    runs = sorted(recorded["runs"], key=lambda r: r["scale"])
+    assert runs, "baseline report holds no runs"
+    reference = runs[0]
+
+    result = run_replay_benchmark(
+        scale=reference["scale"], seed=recorded["trace_seed"]
+    )
+
+    assert result.latency_md5 == reference["latency_md5"], (
+        "simulated-time results drifted from the recorded baseline — "
+        "a semantic change, not just a slowdown"
+    )
+    limit = reference["wall_s"] * TOLERANCE
+    assert result.wall_s <= limit, (
+        f"trace replay took {result.wall_s:.2f}s, over {TOLERANCE:g}x the "
+        f"recorded {reference['wall_s']:.2f}s baseline"
+    )

@@ -129,19 +129,75 @@ class EdgeCluster(abc.ABC):
         poll_interval_s: float = 0.02,
         timeout_s: float | None = None,
     ):
-        """Poll until the service port answers (generator returning bool).
+        """Wait until the service port answers (generator returning bool).
 
         Models the paper's §VI behaviour: "before setting up the flows,
         the controller continuously tests if the respective port is
-        open."
+        open" — but event-driven rather than polled.  The wait
+        subscribes to the ingress host's port-open notification
+        (:meth:`~repro.net.host.Host.port_open_event`) and, once the
+        port opens, wakes at the first *poll-grid* tick at or after the
+        open — the exact simulated instant the old fixed-interval poll
+        loop would have observed readiness.  Readiness times stay
+        byte-identical to the polling implementation while the
+        simulator processes O(1) events per wait instead of
+        O(duration / poll interval).
+
+        The plain poll loop remains only as a documented fallback: for
+        the window before Create has assigned an endpoint (no port to
+        subscribe to yet), and for subclasses that override
+        :meth:`is_running` with a notion of readiness that is not
+        observable as a port-open event on the ingress host.
         """
         deadline = None if timeout_s is None else self.env.now + timeout_s
+        if type(self).is_running is not EdgeCluster.is_running:
+            # Custom readiness: fall back to the literal §VI poll loop.
+            while True:
+                if self.is_running(plan):
+                    return True
+                if deadline is not None and self.env.now >= deadline:
+                    return False
+                yield self.env.timeout(poll_interval_s)
+        # The poll grid: call time plus repeated float addition of the
+        # interval, mirroring the old loop's timeout accumulation.
+        tick = self.env.now
         while True:
             if self.is_running(plan):
                 return True
             if deadline is not None and self.env.now >= deadline:
                 return False
-            yield self.env.timeout(poll_interval_s)
+            endpoint = self.endpoint(plan)
+            if endpoint is None:
+                # Fallback: nothing to subscribe to before Create.
+                tick += poll_interval_s
+                yield self.env.timeout_at(tick)
+                continue
+            open_ev = self.ingress_host.port_open_event(endpoint.port)
+            if open_ev.triggered:
+                # Port already open yet is_running said no (the
+                # endpoint moved between the checks): degrade to a
+                # plain poll tick rather than spinning.
+                tick += poll_interval_s
+                yield self.env.timeout_at(tick)
+                continue
+            if deadline is None:
+                yield open_ev
+            else:
+                deadline_tick = tick
+                while deadline_tick < deadline:
+                    deadline_tick += poll_interval_s
+                yield open_ev | self.env.timeout_at(deadline_tick)
+                if not open_ev.triggered:
+                    self.ingress_host.abandon_port_waiter(
+                        endpoint.port, open_ev
+                    )
+            # Resume sampling on the poll grid: advance to the first
+            # tick at or after the wake and re-check there — exactly
+            # where the poll loop would have seen the port open.
+            while tick < self.env.now:
+                tick += poll_interval_s
+            if tick > self.env.now:
+                yield self.env.timeout_at(tick)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name!r} d={self.distance}>"

@@ -44,6 +44,8 @@ class Watch:
         return self.events.get()
 
     def cancel(self) -> None:
+        """Stop the stream.  Events already in flight (notified but not
+        yet delivered) are dropped at their delivery time."""
         self.active = False
 
 
@@ -72,18 +74,33 @@ class APIServer:
         meta.resource_version = self._resource_version
 
     def _notify(self, kind: str, event_type: str, obj: _t.Any) -> None:
-        for watch in self._watches[kind]:
+        watches = self._watches[kind]
+        if not watches:
+            return
+        event = WatchEvent(event_type, obj)
+        pruned = False
+        for watch in watches:
             if watch.active:
                 self.stats["events"] += 1
-                self.env.process(
-                    self._deliver(watch, WatchEvent(event_type, obj)),
-                    name=f"watch-ev:{kind}",
-                )
+                self._deliver(watch, event)
+            else:
+                pruned = True
+        if pruned:
+            # Cancelled watches would otherwise accumulate forever and
+            # slow every later fan-out.
+            self._watches[kind] = [w for w in watches if w.active]
 
-    def _deliver(self, watch: Watch, event: WatchEvent):
-        yield self.env.timeout(self.profile.watch_latency_s)
-        if watch.active:
-            watch.events.put(event)
+    def _deliver(self, watch: Watch, event: WatchEvent) -> None:
+        """Enqueue ``event`` on ``watch`` after the watch latency.
+
+        A slim scheduled callback, not a process: events already in
+        flight when the watch is cancelled are simply dropped at
+        delivery time — no dead process is ever spawned for them.
+        """
+        self.env.call_later(
+            self.profile.watch_latency_s,
+            lambda: watch.events.put(event) if watch.active else None,
+        )
 
     @staticmethod
     def _kind_of(obj: _t.Any) -> str:
@@ -187,4 +204,4 @@ class APIServer:
 
     def _notify_one(self, watch: Watch, event: WatchEvent) -> None:
         self.stats["events"] += 1
-        self.env.process(self._deliver(watch, event), name="watch-replay")
+        self._deliver(watch, event)

@@ -172,6 +172,8 @@ class Host(NetDevice):
         #: Handshake waiters keyed by conn_id -> event fired with the
         #: SYN-ACK (or failed with ConnectionRefused).
         self._pending: dict[int, _t.Any] = {}
+        #: Readiness subscriptions: port -> events fired on open_port.
+        self._port_waiters: dict[int, list[_t.Any]] = {}
         self._next_ephemeral = EPHEMERAL_BASE
 
     # -- listener management ------------------------------------------------
@@ -181,10 +183,44 @@ class Host(NetDevice):
         if port in self._listeners:
             raise ValueError(f"{self.name}: port {port} is already open")
         self._listeners[port] = Listener(port, app)
+        waiters = self._port_waiters.pop(port, None)
+        if waiters:
+            for event in waiters:
+                if not event.triggered:
+                    event.succeed(port)
 
     def close_port(self, port: int) -> None:
         """Stop accepting connections on ``port``."""
         self._listeners.pop(port, None)
+
+    def port_open_event(self, port: int) -> _t.Any:
+        """An event firing when ``port`` opens (readiness subscription).
+
+        Already-open ports yield an immediately-triggered event.  This
+        is what turns the controller's port polling (§VI) into a
+        deadline-driven wait: instead of probing every poll interval,
+        a waiter subscribes here and wakes the instant the listener is
+        bound.  Abandoned subscriptions (e.g. a wait that timed out)
+        should be dropped with :meth:`abandon_port_waiter`.
+        """
+        event = self.env.event()
+        if port in self._listeners:
+            event.succeed(port)
+        else:
+            self._port_waiters.setdefault(port, []).append(event)
+        return event
+
+    def abandon_port_waiter(self, port: int, event: _t.Any) -> None:
+        """Drop a no-longer-needed :meth:`port_open_event` subscription."""
+        waiters = self._port_waiters.get(port)
+        if waiters is None:
+            return
+        try:
+            waiters.remove(event)
+        except ValueError:
+            return
+        if not waiters:
+            del self._port_waiters[port]
 
     def port_is_open(self, port: int) -> bool:
         return port in self._listeners

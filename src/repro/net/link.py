@@ -9,8 +9,9 @@ of the testbed's switched Ethernet without per-byte events.
 from __future__ import annotations
 
 import typing as _t
+from collections import deque
 
-from repro.sim import Environment, Store
+from repro.sim import Environment
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.device import NetworkInterface
@@ -22,30 +23,48 @@ MBPS = 1_000_000
 
 
 class LinkEndpoint:
-    """One side of a link; owns the transmit queue for its direction."""
+    """One side of a link; owns the transmit queue for its direction.
+
+    The transmitter is callback-driven: while the line is busy,
+    packets queue in a plain deque; each packet costs exactly two slim
+    scheduled callbacks (end of serialization, end of propagation)
+    instead of a store hand-off plus a propagation process.  The
+    serialization timeline — one packet on the wire at a time,
+    propagation pipelined — is unchanged.
+    """
 
     def __init__(self, link: "Link", iface: "NetworkInterface") -> None:
         self.link = link
         self.iface = iface
         self.peer: "LinkEndpoint | None" = None
-        self._queue: Store = Store(link.env)
-        link.env.process(self._transmitter(), name=f"link-tx:{iface}")
+        self._pending: deque["Packet"] = deque()
+        self._busy = False
 
     def transmit(self, packet: "Packet") -> None:
         """Enqueue a packet for transmission towards the peer."""
-        self._queue.put(packet)
+        if self._busy:
+            self._pending.append(packet)
+        else:
+            self._busy = True
+            self._serialize(packet)
 
-    def _transmitter(self):
-        env = self.link.env
-        while True:
-            packet = yield self._queue.get()
-            # Serialization at line rate, then propagation.
-            yield env.timeout(packet.wire_size * 8 / self.link.bandwidth_bps)
-            env.process(self._propagate(packet), name="link-prop")
+    def _serialize(self, packet: "Packet") -> None:
+        # Serialization at line rate, then propagation.
+        self.link.env.call_later(
+            packet.wire_size * 8 / self.link.bandwidth_bps,
+            lambda: self._serialized(packet),
+        )
 
-    def _propagate(self, packet: "Packet"):
-        env = self.link.env
-        yield env.timeout(self.link.latency_s)
+    def _serialized(self, packet: "Packet") -> None:
+        self.link.env.call_later(
+            self.link.latency_s, lambda: self._deliver(packet)
+        )
+        if self._pending:
+            self._serialize(self._pending.popleft())
+        else:
+            self._busy = False
+
+    def _deliver(self, packet: "Packet") -> None:
         peer = self.peer
         if peer is not None and not self.link.down:
             peer.iface.deliver(packet)

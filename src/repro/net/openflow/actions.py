@@ -56,10 +56,20 @@ class SetField(Action):
             setattr(packet, self.field, self.value)
         else:  # tcp_src / tcp_dst
             seg = packet.tcp
+            # Direct construction: dataclasses.replace() is too slow
+            # for the per-packet redirect path.
             if self.field == "tcp_src":
-                packet.tcp = dataclasses.replace(seg, src_port=int(self.value))
+                src_port, dst_port = int(self.value), seg.dst_port
             else:
-                packet.tcp = dataclasses.replace(seg, dst_port=int(self.value))
+                src_port, dst_port = seg.src_port, int(self.value)
+            packet.tcp = TCPSegment(
+                src_port=src_port,
+                dst_port=dst_port,
+                flags=seg.flags,
+                payload_bytes=seg.payload_bytes,
+                payload=seg.payload,
+                conn_id=seg.conn_id,
+            )
 
     def __str__(self) -> str:
         return f"set_field:{self.field}={self.value}"

@@ -90,6 +90,8 @@ class OpenFlowSwitch(NetDevice):
         expiry_sweep_interval_s: float = 0.25,
     ) -> None:
         super().__init__(env, name)
+        if expiry_sweep_interval_s <= 0:
+            raise ValueError("expiry_sweep_interval_s must be > 0")
         self.datapath_id = datapath_id
         self.lookup_delay_s = float(lookup_delay_s)
         self.table = FlowTable()
@@ -101,7 +103,18 @@ class OpenFlowSwitch(NetDevice):
         self._next_buffer = itertools.count(1)
         #: Counters for tests and diagnostics.
         self.stats = {"rx": 0, "tx": 0, "miss": 0, "drop": 0, "punt": 0}
-        env.process(self._expiry_sweeper(expiry_sweep_interval_s), name=f"{name}-sweep")
+        # Expiry is deadline-driven: instead of a process sweeping the
+        # table every ``expiry_sweep_interval_s`` even when idle, the
+        # switch wakes only at the sweep-grid tick covering the
+        # earliest possible expiry.  The grid (construction time plus
+        # multiples of the interval, accumulated in float exactly as
+        # the old fixed-interval sweeper did) is kept so FlowRemoved
+        # messages fire at byte-identical simulated times.
+        self.expiry_sweep_interval_s = float(expiry_sweep_interval_s)
+        self._grid_cursor = env.now
+        self._wake_at: float | None = None
+        self._wake_gen = 0
+        self.table.on_insert = self._entry_installed
 
     # -- ports -----------------------------------------------------------
 
@@ -121,10 +134,13 @@ class OpenFlowSwitch(NetDevice):
     def receive(self, packet: Packet, iface: NetworkInterface) -> None:
         self.stats["rx"] += 1
         in_port = self._port_numbers[iface]
-        self.env.process(self._pipeline(packet, in_port), name=f"{self.name}-pipe")
+        # One slim callback per packet instead of a full process: the
+        # pipeline body runs after the lookup delay and never blocks.
+        self.env.call_later(
+            self.lookup_delay_s, lambda: self._pipeline(packet, in_port)
+        )
 
-    def _pipeline(self, packet: Packet, in_port: int):
-        yield self.env.timeout(self.lookup_delay_s)
+    def _pipeline(self, packet: Packet, in_port: int) -> None:
         entry = self.table.lookup(packet)
         if entry is None:
             self.stats["miss"] += 1
@@ -273,8 +289,52 @@ class OpenFlowSwitch(NetDevice):
             )
         )
 
-    def _expiry_sweeper(self, interval: float):
-        while True:
-            yield self.env.timeout(interval)
-            for entry, reason in self.table.sweep_expired(self.env.now):
-                self._notify_removed(entry, reason)
+    # -- deadline-driven expiry --------------------------------------------------
+
+    def _entry_installed(self, entry: FlowEntry) -> None:
+        """Table hook: arm the expiry wakeup for a fresh entry."""
+        deadline = entry.next_deadline()
+        if deadline is not None:
+            self._schedule_expiry_wake(deadline)
+
+    def _next_grid_tick(self, deadline: float) -> float:
+        """First future sweep-grid tick at or after ``deadline``.
+
+        The grid is the tick sequence the old fixed-interval sweeper
+        produced: construction time plus repeated float addition of
+        the interval.  Reproducing that accumulation (rather than
+        computing ``start + k * interval``) keeps expiry times
+        byte-identical to the polling implementation.
+        """
+        interval = self.expiry_sweep_interval_s
+        now = self.env.now
+        while self._grid_cursor <= now:
+            self._grid_cursor += interval
+        tick = self._grid_cursor
+        while tick < deadline:
+            tick += interval
+        return tick
+
+    def _schedule_expiry_wake(self, deadline: float) -> None:
+        if self._wake_at is not None and self._wake_at <= deadline:
+            return  # the armed wakeup already covers this deadline
+        tick = self._next_grid_tick(deadline)
+        if self._wake_at is not None and self._wake_at <= tick:
+            return
+        self._wake_at = tick
+        self._wake_gen += 1
+        gen = self._wake_gen
+        self.env.call_at(tick, lambda: self._expiry_wake(gen))
+
+    def _expiry_wake(self, gen: int) -> None:
+        if gen != self._wake_gen:
+            return  # superseded by an earlier wakeup
+        self._wake_at = None
+        for entry, reason in self.table.sweep_expired(self.env.now):
+            self._notify_removed(entry, reason)
+        # Idle-deadline entries may have been touched since this wake
+        # was armed (a spurious wake): re-arm at the new earliest
+        # possible expiry, if any entry can still expire.
+        deadline = self.table.earliest_deadline()
+        if deadline is not None:
+            self._schedule_expiry_wake(deadline)

@@ -1,7 +1,8 @@
-"""Flow entries and the priority-ordered flow table."""
+"""Flow entries and the priority-ordered, hash-indexed flow table."""
 
 from __future__ import annotations
 
+import bisect
 import itertools
 import typing as _t
 
@@ -15,6 +16,49 @@ _entry_ids = itertools.count(1)
 REASON_IDLE_TIMEOUT = "idle_timeout"
 REASON_HARD_TIMEOUT = "hard_timeout"
 REASON_DELETE = "delete"
+
+#: Match fields an index shape can bind, in canonical order.
+_SHAPE_FIELDS = ("ip_src", "ip_dst", "tcp_src", "tcp_dst")
+
+#: Per-field packet accessors, matching FlowMatch.matches().
+_PACKET_GETTERS: dict[str, _t.Callable[[Packet], _t.Any]] = {
+    "ip_src": lambda p: p.ip_src,
+    "ip_dst": lambda p: p.ip_dst,
+    "tcp_src": lambda p: p.tcp.src_port,
+    "tcp_dst": lambda p: p.tcp.dst_port,
+}
+
+_shape_key_cache: dict[tuple[str, ...], _t.Callable[[Packet], tuple]] = {}
+
+
+def _shape_of(match: FlowMatch) -> tuple[str, ...]:
+    """The match's bound fields in canonical order (its index shape)."""
+    return tuple(f for f in _SHAPE_FIELDS if getattr(match, f) is not None)
+
+
+def _key_builder_for(shape: tuple[str, ...]) -> _t.Callable[[Packet], tuple]:
+    """A closure extracting the shape's packet-field key (unrolled —
+    a generic genexpr here costs real time on the per-packet path)."""
+    builder = _shape_key_cache.get(shape)
+    if builder is not None:
+        return builder
+    getters = tuple(_PACKET_GETTERS[f] for f in shape)
+    if len(getters) == 0:
+        builder = lambda p: ()  # noqa: E731
+    elif len(getters) == 1:
+        (g0,) = getters
+        builder = lambda p: (g0(p),)  # noqa: E731
+    elif len(getters) == 2:
+        g0, g1 = getters
+        builder = lambda p: (g0(p), g1(p))  # noqa: E731
+    elif len(getters) == 3:
+        g0, g1, g2 = getters
+        builder = lambda p: (g0(p), g1(p), g2(p))  # noqa: E731
+    else:
+        g0, g1, g2, g3 = getters
+        builder = lambda p: (g0(p), g1(p), g2(p), g3(p))  # noqa: E731
+    _shape_key_cache[shape] = builder
+    return builder
 
 
 class FlowEntry:
@@ -49,6 +93,8 @@ class FlowEntry:
         self.installed_at: float = 0.0
         self.last_used: float = 0.0
         self.packet_count: int = 0
+        #: Table-assigned install order (tie-break within a priority).
+        self._order: int = 0
 
     def touch(self, now: float) -> None:
         self.last_used = now
@@ -62,6 +108,22 @@ class FlowEntry:
             return REASON_IDLE_TIMEOUT
         return None
 
+    def next_deadline(self) -> float | None:
+        """Earliest simulated time this entry *could* expire.
+
+        The idle deadline moves forward on every :meth:`touch`, so a
+        deadline computed now is a lower bound — the entry is never
+        expired before it, but may survive past it.
+        """
+        deadline: float | None = None
+        if self.hard_timeout:
+            deadline = self.installed_at + self.hard_timeout
+        if self.idle_timeout:
+            idle_deadline = self.last_used + self.idle_timeout
+            if deadline is None or idle_deadline < deadline:
+                deadline = idle_deadline
+        return deadline
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         acts = ", ".join(str(a) for a in self.actions)
         return f"<FlowEntry #{self.entry_id} p{self.priority} {self.match} -> [{acts}]>"
@@ -72,10 +134,33 @@ class FlowTable:
 
     Insertion order breaks priority ties (first installed wins), which
     keeps lookups deterministic.
+
+    Internally the table keeps, besides the priority-ordered master
+    list, an exact-match hash index grouped by each match's *shape*
+    (its tuple of bound fields): within a shape, the packet's field
+    values form a dict key, so the common case — FlowMemory-installed
+    exact-tuple redirect rules — resolves in O(1) instead of a linear
+    scan.  Matches binding no fields land in the wildcard shape ``()``
+    whose single bucket is the fallback list.  Each bucket stays
+    sorted by ``(-priority, install order)``; a lookup takes the best
+    head across the (few) shapes, which is exactly the entry a linear
+    first-match scan of the master list would return.
     """
 
     def __init__(self) -> None:
         self._entries: list[FlowEntry] = []
+        # shape -> {field-values key -> sorted [(-prio, order, entry)]}
+        self._index: dict[tuple[str, ...], dict[tuple, list]] = {}
+        # Flat lookup plan: one (key-builder, buckets) pair per live
+        # shape, rebuilt only when the shape set changes.
+        self._plans: list[tuple[_t.Callable[[Packet], tuple], dict]] = []
+        self._order = itertools.count(1)
+        #: Largest size the table ever reached (benchmark metric).
+        self.peak_size = 0
+        #: Invoked with the entry after every install (the switch hooks
+        #: this to re-arm its expiry wakeup, covering direct installs
+        #: that bypass the FlowMod path).
+        self.on_insert: _t.Callable[[FlowEntry], None] | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -86,27 +171,40 @@ class FlowTable:
     def install(self, entry: FlowEntry, now: float) -> None:
         entry.installed_at = now
         entry.last_used = now
-        # Stable insert before the first strictly-lower priority.
-        index = len(self._entries)
-        for i, existing in enumerate(self._entries):
-            if existing.priority < entry.priority:
-                index = i
-                break
+        entry._order = next(self._order)
+        # Master list: stable insert before the first strictly-lower
+        # priority, found by bisecting on the descending priority key.
+        index = bisect.bisect_right(
+            self._entries, -entry.priority, key=lambda e: -e.priority
+        )
         self._entries.insert(index, entry)
+        if len(self._entries) > self.peak_size:
+            self.peak_size = len(self._entries)
+        self._index_add(entry)
+        if self.on_insert is not None:
+            self.on_insert(entry)
 
     def lookup(self, packet: Packet) -> FlowEntry | None:
         """Highest-priority matching entry, or ``None`` (table miss)."""
-        for entry in self._entries:
-            if entry.match.matches(packet):
-                return entry
-        return None
+        best_head: tuple | None = None
+        for build_key, buckets in self._plans:
+            bucket = buckets.get(build_key(packet))
+            if bucket:
+                head = bucket[0]
+                # Install orders are unique, so this tuple comparison
+                # decides on (-priority, order) and never reaches the
+                # (incomparable) entry element.
+                if best_head is None or head < best_head:
+                    best_head = head
+        return best_head[2] if best_head is not None else None
 
     def remove(self, entry: FlowEntry) -> bool:
         try:
             self._entries.remove(entry)
-            return True
         except ValueError:
             return False
+        self._index_discard(entry)
+        return True
 
     def remove_matching(
         self,
@@ -114,19 +212,54 @@ class FlowTable:
         cookie: _t.Any = None,
         priority: int | None = None,
     ) -> list[FlowEntry]:
-        """Remove entries by exact match / cookie / priority filters."""
+        """Remove entries by exact match / cookie / priority filters.
+
+        At least one filter must be given: an all-``None`` call would
+        silently flush the whole table, which is never what a FlowMod
+        delete means here — use an explicit loop over ``list(table)``
+        to empty a table on purpose.
+        """
+        if match is None and cookie is None and priority is None:
+            raise ValueError(
+                "remove_matching() needs at least one filter "
+                "(match, cookie, or priority)"
+            )
+        if match is not None:
+            # Exact-match filter: the candidates are exactly the
+            # match's index bucket (same shape + same bound values ⇒
+            # equal FlowMatch), already in table order — no O(n) scan.
+            shape = _shape_of(match)
+            buckets = self._index.get(shape)
+            bucket = (
+                buckets.get(tuple(getattr(match, f) for f in shape))
+                if buckets is not None
+                else None
+            )
+            if not bucket:
+                return []
+            removed = [
+                item[2]
+                for item in bucket
+                if (cookie is None or item[2].cookie == cookie)
+                and (priority is None or item[2].priority == priority)
+            ]
+            for entry in removed:
+                self._entries.remove(entry)
+                self._index_discard(entry)
+            return removed
         removed = []
         kept = []
         for entry in self._entries:
             hit = True
-            if match is not None and entry.match != match:
-                hit = False
             if cookie is not None and entry.cookie != cookie:
                 hit = False
             if priority is not None and entry.priority != priority:
                 hit = False
             (removed if hit else kept).append(entry)
-        self._entries = kept
+        if removed:
+            self._entries = kept
+            for entry in removed:
+                self._index_discard(entry)
         return removed
 
     def sweep_expired(self, now: float) -> list[tuple[FlowEntry, str]]:
@@ -139,5 +272,53 @@ class FlowTable:
                 kept.append(entry)
             else:
                 expired.append((entry, reason))
-        self._entries = kept
+        if expired:
+            self._entries = kept
+            for entry, _reason in expired:
+                self._index_discard(entry)
         return expired
+
+    def earliest_deadline(self) -> float | None:
+        """Soonest possible expiry across all entries (lower bound)."""
+        earliest: float | None = None
+        for entry in self._entries:
+            deadline = entry.next_deadline()
+            if deadline is not None and (earliest is None or deadline < earliest):
+                earliest = deadline
+        return earliest
+
+    # -- index maintenance ----------------------------------------------
+
+    def _index_add(self, entry: FlowEntry) -> None:
+        shape = _shape_of(entry.match)
+        key = tuple(getattr(entry.match, f) for f in shape)
+        buckets = self._index.get(shape)
+        if buckets is None:
+            buckets = self._index[shape] = {}
+            self._plans.append((_key_builder_for(shape), buckets))
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [(-entry.priority, entry._order, entry)]
+        else:
+            bisect.insort(bucket, (-entry.priority, entry._order, entry))
+
+    def _index_discard(self, entry: FlowEntry) -> None:
+        shape = _shape_of(entry.match)
+        buckets = self._index.get(shape)
+        if buckets is None:
+            return
+        key = tuple(getattr(entry.match, f) for f in shape)
+        bucket = buckets.get(key)
+        if bucket is None:
+            return
+        item = (-entry.priority, entry._order, entry)
+        pos = bisect.bisect_left(bucket, item)
+        if pos < len(bucket) and bucket[pos][2] is entry:
+            del bucket[pos]
+            if not bucket:
+                del buckets[key]
+                if not buckets:
+                    del self._index[shape]
+                    self._plans = [
+                        (b, d) for b, d in self._plans if d is not buckets
+                    ]

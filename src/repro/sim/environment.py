@@ -22,6 +22,32 @@ class _StopRun(Exception):
     """Internal: carries the value of the ``until`` event out of run()."""
 
 
+class _Callback:
+    """A slim heap entry that runs a plain function at its scheduled time.
+
+    Duck-types just enough of the :class:`Event` protocol for
+    :meth:`Environment.step` — a ``callbacks`` list plus the class-level
+    ``_ok`` / ``_defused`` flags — while skipping the value, waiter, and
+    Process machinery entirely.  Hot paths (switch pipelines, watch
+    fan-out, expiry wakeups) use it via :meth:`Environment.call_at` /
+    :meth:`Environment.call_later` to schedule one-shot work with a
+    single small allocation instead of the ``Event`` + ``Timeout`` +
+    ``Process`` + ``_Initialize`` chain a generator-based timer costs.
+
+    Not awaitable: a ``_Callback`` never carries a value and cannot be
+    yielded from a process.
+    """
+
+    __slots__ = ("callbacks",)
+    _ok = True
+    _defused = False
+
+    def __init__(self, fn: _t.Callable[[], None]) -> None:
+        # step() invokes each callback with the heap entry itself;
+        # adapt the zero-argument fn to that shape.
+        self.callbacks: list | None = [lambda _entry: fn()]
+
+
 class Environment:
     """A deterministic discrete-event environment.
 
@@ -37,6 +63,9 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = count()
         self._active_process: Process | None = None
+        #: Total heap entries processed since construction — the
+        #: denominator of the events/sec throughput metric.
+        self.events_processed = 0
 
     # -- inspection ------------------------------------------------------
 
@@ -100,6 +129,59 @@ class Environment:
             self._queue, (self._now + delay, priority, next(self._seq), event)
         )
 
+    def schedule_at(
+        self,
+        event: Event,
+        time: float,
+        priority: int = NORMAL,
+    ) -> None:
+        """Push ``event`` onto the heap at absolute simulated ``time``.
+
+        Distinct from ``schedule(delay=time - now)``: float arithmetic
+        is not associative, so re-deriving a delay and adding it back
+        would not always land on ``time`` exactly.  Deadline-driven
+        code (switch expiry wakeups, readiness waits) uses this to hit
+        the *precise* tick times the old fixed-interval loops produced.
+        """
+        if time < self._now:
+            raise ValueError(f"time {time!r} lies in the past (now={self._now})")
+        heapq.heappush(self._queue, (time, priority, next(self._seq), event))
+
+    def timeout_at(self, time: float, value: _t.Any = None) -> Event:
+        """An event firing at absolute simulated ``time`` (yieldable)."""
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        self.schedule_at(event, time)
+        return event
+
+    def call_at(
+        self,
+        time: float,
+        fn: _t.Callable[[], None],
+        priority: int = NORMAL,
+    ) -> None:
+        """Run ``fn()`` at absolute simulated ``time`` (lightweight).
+
+        Schedules a single slim heap entry instead of a process; use
+        for fire-and-forget work on hot paths.  ``fn`` must not yield.
+        """
+        self.schedule_at(_t.cast(Event, _Callback(fn)), time, priority)
+
+    def call_later(
+        self,
+        delay: float,
+        fn: _t.Callable[[], None],
+        priority: int = NORMAL,
+    ) -> None:
+        """Run ``fn()`` after ``delay`` seconds (lightweight)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._seq), _Callback(fn)),
+        )
+
     # -- execution -------------------------------------------------------
 
     def step(self) -> None:
@@ -108,6 +190,7 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        self.events_processed += 1
 
         # Mark processed *before* running callbacks so conditions and
         # late registrations observe a consistent state.

@@ -1,0 +1,264 @@
+"""Regression tests for the hot-path overhaul.
+
+Three contracts the optimisations must not bend:
+
+* the indexed flow-table lookup returns exactly what a linear
+  first-match scan of the priority-ordered table returns, under any
+  interleaving of installs and removals;
+* the deadline-driven expiry wakeup emits FlowRemoved at the *same
+  simulated times* as the old fixed-interval sweeper;
+* a full trace replay is byte-identical across repeated runs (the
+  determinism contract, now including the callback-based pipelines).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.openflow import Drop, FlowEntry, FlowMatch, FlowTable
+from repro.net.openflow.switch import OpenFlowSwitch
+from repro.net.packet import Packet, TCPFlags, TCPSegment
+from repro.sim import Environment
+
+
+def _packet(src, dst, sport, dport):
+    if not isinstance(src, IPv4Address):
+        src = IPv4Address(src)
+    if not isinstance(dst, IPv4Address):
+        dst = IPv4Address(dst)
+    return Packet(
+        eth_src=MACAddress(1),
+        eth_dst=MACAddress(2),
+        ip_src=src,
+        ip_dst=dst,
+        tcp=TCPSegment(sport, dport, TCPFlags.SYN),
+    )
+
+
+def _linear_lookup(table: FlowTable, packet: Packet) -> FlowEntry | None:
+    """The seed's O(n) semantics: first match in priority order."""
+    for entry in table:
+        if entry.match.matches(packet):
+            return entry
+    return None
+
+
+# ---------------------------------------------------------------------------
+# (a) indexed vs. linear lookup under installs *and* removals
+# ---------------------------------------------------------------------------
+
+_ips = st.integers(min_value=1, max_value=3).map(IPv4Address)
+_ports = st.integers(min_value=1, max_value=3)
+_maybe_ip = st.one_of(st.none(), _ips)
+_maybe_port = st.one_of(st.none(), _ports)
+
+_matches = st.builds(
+    FlowMatch,
+    ip_src=_maybe_ip,
+    ip_dst=_maybe_ip,
+    tcp_src=_maybe_port,
+    tcp_dst=_maybe_port,
+)
+
+#: An op is either an install (match, priority) or a removal of the
+#: i-th still-installed entry (install index modulo live count).
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("install"), _matches, st.integers(0, 5)),
+        st.tuples(st.just("remove"), st.integers(0, 30), st.just(0)),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+_probe_packets = st.lists(
+    st.builds(
+        _packet, src=_ips, dst=_ips, sport=_ports, dport=_ports
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_ops, packets=_probe_packets)
+def test_indexed_lookup_matches_linear_scan(ops, packets):
+    table = FlowTable()
+    live: list[FlowEntry] = []
+    for i, (kind, arg, priority) in enumerate(ops):
+        if kind == "install":
+            entry = FlowEntry(arg, [Drop()], priority=priority)
+            table.install(entry, now=float(i))
+            live.append(entry)
+        elif live:
+            victim = live.pop(arg % len(live))
+            assert table.remove(victim)
+    for packet in packets:
+        assert table.lookup(packet) is _linear_lookup(table, packet)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=_ops)
+def test_index_consistent_after_remove_matching(ops):
+    table = FlowTable()
+    priorities = set()
+    for i, (kind, arg, priority) in enumerate(ops):
+        if kind == "install":
+            table.install(
+                FlowEntry(arg, [Drop()], priority=priority), now=float(i)
+            )
+            priorities.add(priority)
+    if priorities:
+        table.remove_matching(priority=min(priorities))
+    packet = _packet(1, 2, 1, 2)
+    assert table.lookup(packet) is _linear_lookup(table, packet)
+
+
+def test_remove_matching_requires_a_filter():
+    table = FlowTable()
+    table.install(FlowEntry(FlowMatch(), [Drop()]), 0.0)
+    with pytest.raises(ValueError):
+        table.remove_matching()
+    assert len(table) == 1  # nothing was flushed
+    assert table.remove_matching(priority=1)
+
+
+# ---------------------------------------------------------------------------
+# (b) deadline-driven expiry == old fixed-interval sweeper
+# ---------------------------------------------------------------------------
+
+
+class _RemovalRecorder:
+    """Stub control channel collecting (time, cookie, reason)."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.removals: list[tuple[float, object, str]] = []
+
+    def send_to_controller(self, message) -> None:
+        self.removals.append((self.env.now, message.cookie, message.reason))
+
+
+def _reference_sweeper(env: Environment, table: FlowTable, interval: float):
+    """The seed's expiry loop: sweep every tick, even when idle."""
+    removals: list[tuple[float, object, str]] = []
+
+    def loop():
+        while True:
+            yield env.timeout(interval)
+            for entry, reason in table.sweep_expired(env.now):
+                removals.append((env.now, entry.cookie, reason))
+
+    env.process(loop())
+    return removals
+
+
+def _scripted_entries(rng: random.Random, n: int):
+    """Installs (time, idle, hard, touches) exercising every expiry mix."""
+    script = []
+    for i in range(n):
+        t_install = round(rng.uniform(0.0, 5.0), 3)
+        idle = rng.choice([0.0, 0.4, 1.0, 2.5])
+        hard = rng.choice([0.0, 1.3, 3.0])
+        touches = sorted(
+            round(t_install + rng.uniform(0.05, 4.0), 3)
+            for _ in range(rng.randrange(0, 4))
+        )
+        script.append((t_install, idle, hard, touches))
+    return script
+
+
+def _apply_script(env: Environment, table: FlowTable, script) -> None:
+    for i, (t_install, idle, hard, touches) in enumerate(script):
+
+        def installer(t=t_install, idle=idle, hard=hard, touches=touches, i=i):
+            yield env.timeout(t)
+            entry = FlowEntry(
+                FlowMatch(tcp_dst=i + 1),
+                [Drop()],
+                idle_timeout=idle,
+                hard_timeout=hard,
+                cookie=f"e{i}",
+            )
+            table.install(entry, env.now)
+            for t_touch in touches:
+                yield env.timeout(t_touch - env.now)
+                entry.touch(env.now)
+
+        env.process(installer())
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_deadline_expiry_matches_interval_sweeper(seed):
+    script = _scripted_entries(random.Random(seed), n=25)
+
+    # Reference: a bare table swept by the seed's fixed-interval loop.
+    ref_env = Environment()
+    ref_table = FlowTable()
+    ref_removals = _reference_sweeper(ref_env, ref_table, interval=0.25)
+    _apply_script(ref_env, ref_table, script)
+    ref_env.run(until=20.0)
+
+    # Under test: the switch's deadline-driven wakeup.
+    env = Environment()
+    switch = OpenFlowSwitch(env, "sw", datapath_id=1)
+    recorder = _RemovalRecorder(env)
+    switch.channel = recorder  # type: ignore[assignment]
+    _apply_script(env, switch.table, script)
+    env.run(until=20.0)
+
+    expected = [
+        (t, cookie, reason) for t, cookie, reason in ref_removals
+    ]
+    assert recorder.removals == expected
+    assert len(switch.table) == len(ref_table)
+
+
+def test_expiry_wakes_only_when_needed():
+    """An idle switch schedules zero events; entries arm exactly the
+    ticks needed (no quarter-second heartbeat)."""
+    env = Environment()
+    switch = OpenFlowSwitch(env, "sw", datapath_id=1)
+    assert len(env) == 0  # no sweeper process on an empty table
+
+    switch.table.install(
+        FlowEntry(FlowMatch(tcp_dst=80), [Drop()], idle_timeout=1.0), env.now
+    )
+    assert len(env) == 1  # exactly one armed wakeup
+    env.run(until=10.0)
+    assert len(switch.table) == 0
+    # Table empty again: nothing left on the heap.
+    assert len(env) == 0
+
+
+# ---------------------------------------------------------------------------
+# (c) trace replays are byte-identical run over run
+# ---------------------------------------------------------------------------
+
+
+def test_trace_replay_latencies_byte_identical():
+    from benchmarks.perf.harness import fingerprint_latencies
+    from repro.experiments.trace_replay import run_trace_replay
+    from repro.workload import BigFlowsParams
+
+    params = BigFlowsParams(
+        n_services=6,
+        n_requests=132,
+        duration_s=45.0,
+        min_requests_per_service=4,
+        n_clients=5,
+    )
+
+    def one_run():
+        result = run_trace_replay(params=params, seed=7)
+        summary = result.extras["summary"]
+        return [s.time_total for s in summary.samples]
+
+    first, second = one_run(), one_run()
+    assert first == second  # full float precision, not rounded
+    assert fingerprint_latencies(first) == fingerprint_latencies(second)

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Wall-clock throughput benchmark for the bigFlows trace replay.
+
+Sweep mode (default) replays the trace at 1x/10x/50x scale and writes
+a JSON report (``BENCH_PR1.json``) with wall-clock seconds, simulator
+events/sec, requests/sec, and the peak flow-table size per scale::
+
+    PYTHONPATH=src python tools/bench_throughput.py --output BENCH_PR1.json
+
+Record a pre-change baseline first, then merge it so the report
+carries the speedup::
+
+    PYTHONPATH=src python tools/bench_throughput.py \
+        --label baseline --output baseline.json          # on the old tree
+    PYTHONPATH=src python tools/bench_throughput.py \
+        --merge-baseline baseline.json --output BENCH_PR1.json
+
+Smoke mode (``--check``) reruns the smallest recorded scale and fails
+(exit 1) if wall-clock regressed more than ``--tolerance`` (default
+2x) against the recorded numbers — the perf gate wired into CI via the
+``perf`` pytest marker (see benchmarks/perf/test_perf_smoke.py)::
+
+    PYTHONPATH=src python tools/bench_throughput.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (_REPO_ROOT, _REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from benchmarks.perf.harness import (  # noqa: E402
+    DEFAULT_SCALES,
+    DEFAULT_SEED,
+    run_replay_benchmark,
+)
+
+SCHEMA = "repro-bench-throughput/1"
+DEFAULT_REPORT = _REPO_ROOT / "BENCH_PR1.json"
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scales",
+        default=",".join(str(s) for s in DEFAULT_SCALES),
+        help="comma-separated trace scales to run (default: 1,10,50)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--label", default="current", help="label stored in the report"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_REPORT,
+        help=f"report path (default: {DEFAULT_REPORT.name})",
+    )
+    parser.add_argument(
+        "--merge-baseline",
+        type=pathlib.Path,
+        default=None,
+        help="earlier report to embed as the baseline (adds speedups)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="smoke mode: rerun the smallest recorded scale and fail "
+        "if wall-clock regressed beyond --tolerance",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=DEFAULT_REPORT,
+        help="report --check compares against (default: BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="--check fails when wall-clock exceeds tolerance x recorded",
+    )
+    return parser.parse_args(argv)
+
+
+def _run_sweep(scales: list[int], seed: int, label: str) -> dict:
+    runs = []
+    for scale in scales:
+        print(f"[bench] scale {scale}x ...", flush=True)
+        result = run_replay_benchmark(scale=scale, seed=seed)
+        runs.append(result.to_json())
+        eps = result.events_per_sec
+        print(
+            f"[bench]   wall={result.wall_s:.2f}s "
+            f"req/s={result.requests_per_sec:.0f} "
+            f"events/s={eps if eps is not None else 'n/a'} "
+            f"peak_table={result.peak_flow_table} "
+            f"latency_md5={result.latency_md5[:12]}",
+            flush=True,
+        )
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "python": platform.python_version(),
+        "trace_seed": seed,
+        "runs": runs,
+    }
+
+
+def _merge_baseline(report: dict, baseline_path: pathlib.Path) -> None:
+    baseline = json.loads(baseline_path.read_text())
+    report["baseline"] = {
+        "label": baseline.get("label", "baseline"),
+        "runs": baseline["runs"],
+    }
+    base_by_scale = {run["scale"]: run for run in baseline["runs"]}
+    speedups = {}
+    identical = {}
+    for run in report["runs"]:
+        base = base_by_scale.get(run["scale"])
+        if base is None or not run["wall_s"]:
+            continue
+        speedups[str(run["scale"])] = round(base["wall_s"] / run["wall_s"], 2)
+        identical[str(run["scale"])] = (
+            base["latency_md5"] == run["latency_md5"]
+        )
+    report["speedup_vs_baseline"] = speedups
+    report["latency_identical_to_baseline"] = identical
+
+
+def _check(args: argparse.Namespace) -> int:
+    if not args.baseline.exists():
+        print(f"[bench] no baseline report at {args.baseline}; run the "
+              "sweep first", file=sys.stderr)
+        return 2
+    recorded = json.loads(args.baseline.read_text())
+    runs = sorted(recorded["runs"], key=lambda r: r["scale"])
+    if not runs:
+        print("[bench] baseline report holds no runs", file=sys.stderr)
+        return 2
+    reference = runs[0]
+    scale = reference["scale"]
+    print(f"[bench] smoke check: scale {scale}x vs recorded "
+          f"{reference['wall_s']:.2f}s (tolerance {args.tolerance:g}x)")
+    result = run_replay_benchmark(scale=scale, seed=recorded["trace_seed"])
+    limit = reference["wall_s"] * args.tolerance
+    status = "ok" if result.wall_s <= limit else "REGRESSED"
+    print(f"[bench] wall={result.wall_s:.2f}s limit={limit:.2f}s -> {status}")
+    if result.latency_md5 != reference["latency_md5"]:
+        print("[bench] WARNING: latency fingerprint drifted from the "
+              f"recorded baseline ({result.latency_md5[:12]} != "
+              f"{reference['latency_md5'][:12]}) — simulated-time "
+              "results changed", file=sys.stderr)
+        return 1
+    return 0 if result.wall_s <= limit else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(argv)
+    if args.check:
+        return _check(args)
+
+    scales = [int(s) for s in str(args.scales).split(",") if s.strip()]
+    report = _run_sweep(scales, args.seed, args.label)
+    if args.merge_baseline is not None:
+        _merge_baseline(report, args.merge_baseline)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench] wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
