@@ -23,14 +23,17 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import time
+import tracemalloc
 import typing as _t
 
 from repro.services.catalog import NGINX
 from repro.testbed import C3Testbed, TestbedConfig
 from repro.workload import BigFlowsParams, TraceDriver, generate_trace
 
-#: Scales the full benchmark sweep runs at.
-DEFAULT_SCALES = (1, 10, 50)
+#: Scales the full benchmark sweep runs at.  100x (~170k requests over
+#: the 300 s window) probes behaviour past the paper's densest load;
+#: PR1 reports predate it, so baseline comparisons cover 1/10/50 only.
+DEFAULT_SCALES = (1, 10, 50, 100)
 #: Trace seed shared by all benchmark runs (same as the experiments).
 DEFAULT_SEED = 42
 
@@ -56,9 +59,18 @@ class BenchResult:
     #: digits, sample order) — byte-identity fingerprint of the
     #: simulated-time results.
     latency_md5: str
+    #: tracemalloc peak / end-of-run KiB during the replay (None unless
+    #: the run was traced — tracing slows the replay several-fold, so
+    #: wall_s from a traced run must never be compared to an untraced
+    #: one; the sweep runs a separate traced pass for these numbers).
+    alloc_peak_kib: float | None = None
+    alloc_current_kib: float | None = None
 
     def to_json(self) -> dict[str, _t.Any]:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        if self.alloc_peak_kib is None:
+            del data["alloc_peak_kib"], data["alloc_current_kib"]
+        return data
 
 
 def fingerprint_latencies(time_totals: _t.Iterable[float]) -> str:
@@ -79,6 +91,7 @@ def run_replay_benchmark(
     scale: int = 1,
     seed: int = DEFAULT_SEED,
     cluster_type: str = "docker",
+    trace_allocations: bool = False,
 ) -> BenchResult:
     """Replay the bigFlows trace at ``scale``x and measure wall-clock."""
     params = scaled_params(scale)
@@ -114,9 +127,17 @@ def run_replay_benchmark(
 
     sim_start = tb.env.now
     events_before = getattr(tb.env, "events_processed", None)
+    alloc_peak = alloc_current = None
+    if trace_allocations:
+        tracemalloc.start()
     wall_start = time.perf_counter()
     summary = driver.run(events)
     wall_s = time.perf_counter() - wall_start
+    if trace_allocations:
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        alloc_peak = round(peak / 1024, 1)
+        alloc_current = round(current / 1024, 1)
     events_after = getattr(tb.env, "events_processed", None)
 
     n_events: int | None = None
@@ -142,4 +163,6 @@ def run_replay_benchmark(
         latency_md5=fingerprint_latencies(
             s.time_total for s in summary.samples
         ),
+        alloc_peak_kib=alloc_peak,
+        alloc_current_kib=alloc_current,
     )

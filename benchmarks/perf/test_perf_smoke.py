@@ -9,9 +9,10 @@ Equivalent CLI form (what CI wires in)::
 
     PYTHONPATH=src python tools/bench_throughput.py --check
 
-Both reuse the same check: rerun the smallest scale recorded in
-``BENCH_PR1.json`` and fail if wall-clock regressed beyond 2x or the
-latency fingerprint (simulated-time results) drifted.
+Both reuse the same check: rerun the smallest scale recorded in the
+newest benchmark report (``BENCH_PR2.json``, else ``BENCH_PR1.json``)
+and fail if wall-clock regressed beyond 2x or the latency fingerprint
+(simulated-time results) drifted.
 """
 
 from __future__ import annotations
@@ -23,7 +24,11 @@ import pytest
 
 from benchmarks.perf.harness import run_replay_benchmark
 
-_REPORT = pathlib.Path(__file__).resolve().parents[2] / "BENCH_PR1.json"
+_ROOT = pathlib.Path(__file__).resolve().parents[2]
+_REPORT = next(
+    (p for p in (_ROOT / "BENCH_PR2.json", _ROOT / "BENCH_PR1.json") if p.exists()),
+    _ROOT / "BENCH_PR2.json",
+)
 
 #: Wall-clock head-room over the recorded baseline before we call it a
 #: regression (noisy-neighbour tolerance, matching --tolerance).
@@ -33,7 +38,7 @@ TOLERANCE = 2.0
 @pytest.mark.perf
 def test_trace_replay_wall_clock_within_tolerance():
     if not _REPORT.exists():
-        pytest.skip("no BENCH_PR1.json baseline recorded")
+        pytest.skip("no benchmark report recorded")
     recorded = json.loads(_REPORT.read_text())
     runs = sorted(recorded["runs"], key=lambda r: r["scale"])
     assert runs, "baseline report holds no runs"

@@ -15,47 +15,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-import typing as _t
 
 from repro.experiments import EXPERIMENTS, ExperimentResult
-
-#: Reduced parameters per experiment for --fast runs.
-_FAST_KWARGS: dict[str, dict[str, _t.Any]] = {
-    "fig11": {"n_instances": 8},
-    "fig12": {"n_instances": 8},
-    "fig13": {"repetitions": 2},
-    "fig14": {"n_instances": 8},
-    "fig15": {"n_instances": 8},
-    "fig16": {"n_requests": 10},
-    "ablation_waiting": {"n_instances": 3},
-    "ablation_hybrid": {"n_instances": 3},
-    "ablation_layer_cache": {"repetitions": 2},
-    "ablation_flow_table": {"n_requests": 5},
-    "ablation_flow_occupancy": {
-        "n_services": 4,
-        "n_clients": 4,
-        "duration_s": 60.0,
-    },
-    "extension_serverless": {"n_instances": 3, "n_warm": 5},
-    "extension_proactive": {"n_visits": 6},
-    "extension_load": {"concurrency_levels": (1, 8), "rounds": 2},
-    "extension_breakdown": {"n_instances": 3},
-    "extension_hierarchy": {},
-}
+from repro.experiments.engine import run_experiment_shard
 
 
 def _run_one(name: str, fast: bool) -> ExperimentResult:
-    runner = EXPERIMENTS[name]
-    kwargs = _FAST_KWARGS.get(name, {}) if fast else {}
-    if fast and name == "trace":
-        from repro.workload import BigFlowsParams
-
-        kwargs = {
-            "params": BigFlowsParams(
-                n_services=10, n_requests=220, duration_s=60.0
-            )
-        }
-    return runner(**kwargs)
+    # One experiment, in-process; the engine owns the --fast parameter
+    # table so the serial CLI and the parallel suite runner agree.
+    return run_experiment_shard(name, fast)
 
 
 def cmd_list() -> int:

@@ -31,16 +31,28 @@ class ExperimentResult:
 
     def column(self, header: str) -> list[_t.Any]:
         """All values of one column, by header name."""
-        index = self.headers.index(header)
+        index = self._header_index(header)
         return [row[index] for row in self.rows]
 
     def cell(self, row_key: _t.Any, header: str) -> _t.Any:
         """Value addressed by first-column key and header name."""
-        index = self.headers.index(header)
+        index = self._header_index(header)
         for row in self.rows:
             if row[0] == row_key:
                 return row[index]
-        raise KeyError(f"no row with key {row_key!r}")
+        raise KeyError(
+            f"{self.experiment_id}: no row with key {row_key!r}; "
+            f"available: {', '.join(repr(row[0]) for row in self.rows)}"
+        )
+
+    def _header_index(self, header: str) -> int:
+        try:
+            return self.headers.index(header)
+        except ValueError:
+            raise KeyError(
+                f"{self.experiment_id}: no column {header!r}; "
+                f"available: {', '.join(repr(h) for h in self.headers)}"
+            ) from None
 
     def to_csv(self) -> str:
         """The rows as CSV text (header line included)."""

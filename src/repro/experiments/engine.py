@@ -1,0 +1,464 @@
+"""The parallel experiment engine.
+
+The evaluation suite is a bag of independent simulations: each
+experiment builds its own testbed, and the deployment figures
+(11/12/14/15) further decompose into independent (service × cluster)
+measurement cells.  This module turns that independence into wall-clock
+speed and re-run cheapness:
+
+* every experiment is *planned* into one or more :class:`Shard`\\ s —
+  picklable (function path, JSON kwargs) work units;
+* shards run across a ``multiprocessing`` worker pool (or in-process
+  with ``workers=1``), each re-seeded deterministically from its shard
+  id so serial and parallel runs produce identical results;
+* shard results land in an on-disk cache keyed by (function, kwargs,
+  code fingerprint), so re-running the suite after an unrelated edit —
+  or a crash — only recomputes what actually changed;
+* identical shards within one run (fig. 11 and fig. 14 share all their
+  cells, as do 12 and 15) are deduplicated in flight and computed once.
+
+``tools/run_experiments.py`` is the CLI front end; it regenerates
+EXPERIMENTS.md from the merged results and reports wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import pickle
+import random
+import time
+import typing as _t
+
+from repro.experiments import EXPERIMENTS, ExperimentResult
+from repro.experiments.fig11_15_deployment import (
+    FIGURE_SPECS,
+    PAPER_SERVICES,
+    ScaleUpRun,
+    figure_from_runs,
+    template_by_key,
+)
+
+#: Default shard-cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".cache/experiments"
+
+#: Reduced parameters per experiment for --fast runs (shared with the
+#: serial CLI in :mod:`repro.cli`).
+FAST_KWARGS: dict[str, dict[str, _t.Any]] = {
+    "fig11": {"n_instances": 8},
+    "fig12": {"n_instances": 8},
+    "fig13": {"repetitions": 2},
+    "fig14": {"n_instances": 8},
+    "fig15": {"n_instances": 8},
+    "fig16": {"n_requests": 10},
+    "ablation_waiting": {"n_instances": 3},
+    "ablation_hybrid": {"n_instances": 3},
+    "ablation_layer_cache": {"repetitions": 2},
+    "ablation_flow_table": {"n_requests": 5},
+    "ablation_flow_occupancy": {
+        "n_services": 4,
+        "n_clients": 4,
+        "duration_s": 60.0,
+    },
+    "extension_serverless": {"n_instances": 3, "n_warm": 5},
+    "extension_proactive": {"n_visits": 6},
+    "extension_load": {"concurrency_levels": [1, 8], "rounds": 2},
+    "extension_breakdown": {"n_instances": 3},
+    "extension_hierarchy": {},
+}
+
+
+# --------------------------------------------------------------------------
+# shard model
+
+
+@dataclasses.dataclass(frozen=True)
+class Shard:
+    """One unit of parallel work.
+
+    ``func`` is an importable ``"module:function"`` path and ``kwargs``
+    must be JSON-serializable — together they form the shard's cache
+    identity, so two shards with the same (func, kwargs) are the same
+    computation no matter which experiment asked for them.
+    """
+
+    shard_id: str
+    func: str
+    kwargs: dict[str, _t.Any] = dataclasses.field(default_factory=dict)
+
+    def cache_key(self, fingerprint: str) -> str:
+        payload = json.dumps(
+            {"func": self.func, "kwargs": self.kwargs, "code": fingerprint},
+            sort_keys=True,
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()
+
+
+@dataclasses.dataclass
+class Plan:
+    """An experiment decomposed into shards plus a merge step."""
+
+    name: str
+    shards: list[Shard]
+    #: Maps {shard_id: shard result} to the experiment's final result.
+    merge: _t.Callable[[dict[str, _t.Any]], ExperimentResult]
+
+
+@dataclasses.dataclass
+class SuiteStats:
+    """Accounting for one :func:`run_suite` invocation."""
+
+    workers: int
+    wall_s: float = 0.0
+    shards_total: int = 0
+    shards_executed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    #: Per-shard compute seconds (0.0 for cache hits); in parallel
+    #: runs these overlap, so they sum to CPU time, not wall time.
+    shard_s: dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Per-experiment compute seconds (sum over the plan's shards).
+    per_experiment_s: dict[str, float] = dataclasses.field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------
+# shard entry points (must be importable by path for worker processes)
+
+
+def run_experiment_shard(name: str, fast: bool = False) -> ExperimentResult:
+    """Run a whole experiment as a single shard."""
+    runner = EXPERIMENTS[name]
+    kwargs = dict(FAST_KWARGS.get(name, {})) if fast else {}
+    if fast and name == "trace":
+        from repro.workload import BigFlowsParams
+
+        kwargs = {
+            "params": BigFlowsParams(n_services=10, n_requests=220, duration_s=60.0)
+        }
+    if "concurrency_levels" in kwargs:
+        kwargs["concurrency_levels"] = tuple(kwargs["concurrency_levels"])
+    return runner(**kwargs)
+
+
+# --------------------------------------------------------------------------
+# planning
+
+
+def plan_experiment(
+    name: str,
+    fast: bool = False,
+    overrides: dict[str, _t.Any] | None = None,
+) -> Plan:
+    """Decompose one experiment into its shard plan.
+
+    ``overrides`` (JSON-able values only) tune the figure sweeps —
+    ``n_instances``, ``service_keys``, ``cluster_types`` — or are
+    merged into a single-shard experiment's kwargs; tests use this to
+    shrink the work.
+    """
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        )
+    overrides = dict(overrides or {})
+    if name in FIGURE_SPECS:
+        return _plan_figure(name, fast, overrides)
+    kwargs: dict[str, _t.Any] = {"name": name, "fast": fast}
+    if overrides:
+        # Route a customized single-shard run through the generic
+        # entry point with explicit kwargs instead of the fast table.
+        return Plan(
+            name=name,
+            shards=[
+                Shard(
+                    shard_id=name,
+                    func=f"repro.experiments:{_RUNNER_NAMES[name]}",
+                    kwargs=overrides,
+                )
+            ],
+            merge=lambda results: results[name],
+        )
+    return Plan(
+        name=name,
+        shards=[
+            Shard(
+                shard_id=name,
+                func="repro.experiments.engine:run_experiment_shard",
+                kwargs=kwargs,
+            )
+        ],
+        merge=lambda results: results[name],
+    )
+
+
+_RUNNER_NAMES = {name: fn.__name__ for name, fn in EXPERIMENTS.items()}
+
+
+def _plan_figure(name: str, fast: bool, overrides: dict[str, _t.Any]) -> Plan:
+    spec = FIGURE_SPECS[name]
+    n_instances = overrides.get(
+        "n_instances", FAST_KWARGS[name]["n_instances"] if fast else 42
+    )
+    service_keys = list(
+        overrides.get("service_keys", [t.key for t in PAPER_SERVICES])
+    )
+    cluster_types = list(overrides.get("cluster_types", ["docker", "k8s"]))
+    pre_create = spec["pre_create"]
+
+    shards = [
+        Shard(
+            # The id names the *cell*, not the figure: figs. 11/14
+            # (and 12/15) plan identical shards, which the executor
+            # computes once per run.
+            shard_id=f"cell/{key}/{cluster}/pre={pre_create}/n={n_instances}",
+            func="repro.experiments.fig11_15_deployment:scale_up_cell",
+            kwargs={
+                "template_key": key,
+                "cluster_type": cluster,
+                "pre_create": pre_create,
+                "n_instances": n_instances,
+            },
+        )
+        for key in service_keys
+        for cluster in cluster_types
+    ]
+
+    def merge(results: dict[str, _t.Any]) -> ExperimentResult:
+        runs: dict[tuple[str, str], ScaleUpRun] = {}
+        for shard in shards:
+            run = results[shard.shard_id]
+            runs[(run.template_key, run.cluster_type)] = run
+        return figure_from_runs(
+            spec["experiment_id"],
+            spec["title"],
+            spec["value"],
+            spec["paper_shape"],
+            runs,
+            [template_by_key(k) for k in service_keys],
+            cluster_types,
+        )
+
+    return Plan(name=name, shards=shards, merge=merge)
+
+
+# --------------------------------------------------------------------------
+# execution
+
+
+def code_fingerprint(roots: _t.Sequence[str] | None = None) -> str:
+    """SHA-1 over every tracked source file, the cache's code identity.
+
+    Any edit under ``src/repro`` invalidates all cached shard results —
+    coarse, but sound: a stale cache can never masquerade as a fresh
+    measurement.
+    """
+    if roots is None:
+        roots = [os.path.dirname(os.path.dirname(os.path.abspath(__file__)))]
+    digest = hashlib.sha1()
+    for root in roots:
+        paths = []
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    paths.append(os.path.join(dirpath, filename))
+        for path in sorted(paths):
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()
+
+
+def _resolve(func_path: str) -> _t.Callable[..., _t.Any]:
+    module_name, _, func_name = func_path.partition(":")
+    if not func_name:
+        raise ValueError(f"shard func {func_path!r} is not 'module:function'")
+    module = importlib.import_module(module_name)
+    return getattr(module, func_name)
+
+
+def execute_shard(shard: Shard) -> _t.Any:
+    """Run one shard in the current process (worker entry point).
+
+    The RNG is re-seeded from the shard id before the run, so a shard
+    computes the same result whether it runs in the parent (serial
+    mode), in any worker, or in any order relative to its siblings.
+    """
+    seed = int.from_bytes(
+        hashlib.sha1(shard.shard_id.encode()).digest()[:8], "big"
+    )
+    random.seed(seed)
+    return _resolve(shard.func)(**shard.kwargs)
+
+
+def _pool_entry(shard: Shard) -> tuple[str, float, _t.Any]:
+    started = time.perf_counter()
+    outcome = execute_shard(shard)
+    return shard.shard_id, time.perf_counter() - started, outcome
+
+
+def run_shards(
+    shards: _t.Sequence[Shard],
+    workers: int | None = None,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+    fresh: bool = False,
+    stats: SuiteStats | None = None,
+) -> dict[str, _t.Any]:
+    """Execute shards with caching + in-flight dedup; returns results by id.
+
+    ``cache_dir=None`` disables the on-disk cache entirely; ``fresh``
+    ignores existing entries but still writes new ones.  ``workers``
+    defaults to the CPU count; ``1`` stays entirely in-process (no
+    multiprocessing import-tax, identical results).
+    """
+    if workers is None:
+        workers = multiprocessing.cpu_count()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if stats is None:
+        stats = SuiteStats(workers=workers)
+    stats.shards_total += len(shards)
+
+    fingerprint = code_fingerprint() if cache_dir is not None else ""
+    results: dict[str, _t.Any] = {}
+
+    # In-flight dedup: shards whose (func, kwargs) coincide share one
+    # computation.  Keyed by cache key when caching, else by identity
+    # payload.
+    by_work: dict[str, list[Shard]] = {}
+    for shard in shards:
+        if cache_dir is not None:
+            work_key = shard.cache_key(fingerprint)
+        else:
+            work_key = json.dumps(
+                {"func": shard.func, "kwargs": shard.kwargs}, sort_keys=True
+            )
+        by_work.setdefault(work_key, []).append(shard)
+    stats.deduplicated += sum(len(group) - 1 for group in by_work.values())
+
+    pending: list[tuple[str, Shard]] = []
+    for work_key, group in by_work.items():
+        if cache_dir is not None and not fresh:
+            cached = _cache_read(cache_dir, work_key)
+            if cached is not _MISS:
+                stats.cache_hits += len(group)
+                for shard in group:
+                    results[shard.shard_id] = cached
+                    stats.shard_s[shard.shard_id] = 0.0
+                continue
+        pending.append((work_key, group[0]))
+
+    stats.shards_executed += len(pending)
+    if pending:
+        if workers == 1 or len(pending) == 1:
+            computed = [_pool_entry(shard) for _key, shard in pending]
+        else:
+            # fork start method: workers inherit the imported modules
+            # instead of re-importing the world per shard.
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=min(workers, len(pending))) as pool:
+                computed = pool.map(
+                    _pool_entry, [shard for _key, shard in pending]
+                )
+        outcome_by_id = {sid: (secs, out) for sid, secs, out in computed}
+        for work_key, shard in pending:
+            seconds, outcome = outcome_by_id[shard.shard_id]
+            if cache_dir is not None:
+                _cache_write(cache_dir, work_key, outcome)
+            for sibling in by_work[work_key]:
+                results[sibling.shard_id] = outcome
+                stats.shard_s[sibling.shard_id] = seconds
+    return results
+
+
+_MISS = object()
+
+
+def _cache_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, f"{key}.pkl")
+
+
+def _cache_read(cache_dir: str, key: str) -> _t.Any:
+    path = _cache_path(cache_dir, key)
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except (FileNotFoundError, pickle.UnpicklingError, EOFError):
+        return _MISS
+
+
+def _cache_write(cache_dir: str, key: str, value: _t.Any) -> None:
+    os.makedirs(cache_dir, exist_ok=True)
+    path = _cache_path(cache_dir, key)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)  # atomic: concurrent writers race benignly
+
+
+# --------------------------------------------------------------------------
+# suite driver
+
+
+def run_suite(
+    names: _t.Sequence[str] | None = None,
+    fast: bool = False,
+    workers: int | None = None,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+    fresh: bool = False,
+    overrides: dict[str, dict[str, _t.Any]] | None = None,
+    progress: _t.Callable[[str], None] | None = None,
+) -> tuple[dict[str, ExperimentResult], SuiteStats]:
+    """Run (a subset of) the experiment suite, sharded and cached.
+
+    Returns ``(results by experiment name, stats)``.  All experiments'
+    shards are pooled into ONE executor pass, so cells from different
+    figures fill the workers together instead of running figure by
+    figure with stragglers.
+    """
+    if names is None:
+        names = list(EXPERIMENTS)
+    overrides = overrides or {}
+    if workers is None:
+        workers = multiprocessing.cpu_count()
+    stats = SuiteStats(workers=workers)
+
+    started = time.perf_counter()
+    plans = [plan_experiment(name, fast, overrides.get(name)) for name in names]
+
+    all_shards: list[Shard] = []
+    seen: set[str] = set()
+    for plan in plans:
+        for shard in plan.shards:
+            if shard.shard_id not in seen:
+                seen.add(shard.shard_id)
+                all_shards.append(shard)
+            else:
+                # figs. 11/14 (and 12/15) plan the same cells; count the
+                # coalesced copies so the report shows the saving.
+                stats.deduplicated += 1
+
+    if progress is not None:
+        progress(
+            f"{len(plans)} experiments -> {len(all_shards)} shards "
+            f"on {workers} worker(s)"
+        )
+    shard_results = run_shards(
+        all_shards, workers=workers, cache_dir=cache_dir, fresh=fresh, stats=stats
+    )
+
+    results: dict[str, ExperimentResult] = {}
+    for plan in plans:
+        results[plan.name] = plan.merge(
+            {s.shard_id: shard_results[s.shard_id] for s in plan.shards}
+        )
+        stats.per_experiment_s[plan.name] = sum(
+            stats.shard_s.get(s.shard_id, 0.0) for s in plan.shards
+        )
+        if progress is not None:
+            progress(f"merged {plan.name}")
+    stats.wall_s = time.perf_counter() - started
+    return results, stats

@@ -23,6 +23,87 @@ from repro.testbed import C3Testbed, TestbedConfig
 #: figure (11/12) and its wait-time companion (14/15).
 _CACHE: dict[tuple, "ScaleUpRun"] = {}
 
+#: Templates by key, for the by-name cell entry point used by the
+#: parallel experiment engine (template objects don't travel across
+#: process boundaries; their keys do).
+_TEMPLATES: dict[str, ServiceTemplate] = {t.key: t for t in PAPER_SERVICES}
+
+#: Figure metadata shared by the serial runners below and the engine's
+#: per-cell shard plans: each figure is a (pre_create, value) view over
+#: the same per-(service, cluster) measurement cells.
+FIGURE_SPECS: dict[str, dict[str, _t.Any]] = {
+    "fig11": {
+        "experiment_id": "Fig. 11",
+        "title": "Total time (median) to scale up four services on two clusters",
+        "pre_create": True,
+        "value": "total",
+        "paper_shape": (
+            "Docker < 1 s for Asm/Nginx, Kubernetes ~ 3 s; no notable "
+            "Asm-vs-Nginx difference; ResNet significantly slower; "
+            "Nginx+Py slower than Nginx."
+        ),
+    },
+    "fig12": {
+        "experiment_id": "Fig. 12",
+        "title": "Total time (median) to create + scale up four services",
+        "pre_create": False,
+        "value": "total",
+        "paper_shape": (
+            "Creating the containers adds around 100 ms to the first "
+            "request versus fig. 11 (relatively negligible for ResNet)."
+        ),
+    },
+    "fig14": {
+        "experiment_id": "Fig. 14",
+        "title": "Wait time (median) until services are ready after scale up",
+        "pre_create": True,
+        "value": "wait",
+        "paper_shape": (
+            "Included in fig. 11's totals; for ResNet the wait alone "
+            "accounts for more than a fourth of the total time."
+        ),
+    },
+    "fig15": {
+        "experiment_id": "Fig. 15",
+        "title": "Wait time (median) until ready after create + scale up",
+        "pre_create": False,
+        "value": "wait",
+        "paper_shape": "Included in fig. 12's totals; same ordering as fig. 14.",
+    },
+}
+
+
+def template_by_key(key: str) -> ServiceTemplate:
+    """The paper-catalog template with the given key."""
+    try:
+        return _TEMPLATES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown service template {key!r}; available: "
+            f"{', '.join(sorted(_TEMPLATES))}"
+        ) from None
+
+
+def scale_up_cell(
+    template_key: str,
+    cluster_type: str,
+    pre_create: bool = True,
+    n_instances: int = 42,
+) -> "ScaleUpRun":
+    """One measurement cell, addressed entirely by plain values.
+
+    This is the engine's shard entry point for figs. 11/12/14/15: the
+    (service × cluster) cells of a deployment figure are independent
+    simulations, so the engine fans them out across workers and merges
+    them back with :func:`figure_from_runs`.
+    """
+    return run_scale_up_experiment(
+        template_by_key(template_key),
+        cluster_type,
+        n_instances=n_instances,
+        pre_create=pre_create,
+    )
+
 
 @dataclasses.dataclass
 class ScaleUpRun:
@@ -100,6 +181,40 @@ def run_scale_up_experiment(
     return run
 
 
+def figure_from_runs(
+    experiment_id: str,
+    title: str,
+    value: str,
+    paper_shape: str,
+    runs: _t.Mapping[tuple[str, str], ScaleUpRun],
+    services: _t.Sequence[ServiceTemplate],
+    cluster_types: _t.Sequence[str],
+) -> ExperimentResult:
+    """Assemble a deployment figure from its measurement cells.
+
+    ``runs`` maps (template key, cluster type) to the cell's raw
+    measurement.  The serial path below and the parallel engine both
+    funnel through this merge, which is what makes their results
+    comparable row for row.
+    """
+    rows = []
+    for template in services:
+        row: list[_t.Any] = [template.title]
+        for cluster_type in cluster_types:
+            run = runs[(template.key, cluster_type)]
+            summary = run.total_summary if value == "total" else run.wait_summary
+            row.append(round(summary.median, 4))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["Service"] + [f"{c} median (s)" for c in cluster_types],
+        rows=rows,
+        paper_shape=paper_shape,
+        extras={"runs": dict(runs)},
+    )
+
+
 def _deployment_figure(
     experiment_id: str,
     title: str,
@@ -110,25 +225,33 @@ def _deployment_figure(
     cluster_types: _t.Sequence[str] = ("docker", "k8s"),
     n_instances: int = 42,
 ) -> ExperimentResult:
-    rows = []
     runs: dict[tuple[str, str], ScaleUpRun] = {}
     for template in services:
-        row: list[_t.Any] = [template.title]
         for cluster_type in cluster_types:
-            run = run_scale_up_experiment(
+            runs[(template.key, cluster_type)] = run_scale_up_experiment(
                 template, cluster_type, n_instances=n_instances, pre_create=pre_create
             )
-            runs[(template.key, cluster_type)] = run
-            summary = run.total_summary if value == "total" else run.wait_summary
-            row.append(round(summary.median, 4))
-        rows.append(row)
-    return ExperimentResult(
-        experiment_id=experiment_id,
-        title=title,
-        headers=["Service"] + [f"{c} median (s)" for c in cluster_types],
-        rows=rows,
-        paper_shape=paper_shape,
-        extras={"runs": runs},
+    return figure_from_runs(
+        experiment_id, title, value, paper_shape, runs, services, cluster_types
+    )
+
+
+def _figure_from_spec(
+    name: str,
+    services: _t.Sequence[ServiceTemplate],
+    cluster_types: _t.Sequence[str],
+    n_instances: int,
+) -> ExperimentResult:
+    spec = FIGURE_SPECS[name]
+    return _deployment_figure(
+        spec["experiment_id"],
+        spec["title"],
+        pre_create=spec["pre_create"],
+        value=spec["value"],
+        paper_shape=spec["paper_shape"],
+        services=services,
+        cluster_types=cluster_types,
+        n_instances=n_instances,
     )
 
 
@@ -138,20 +261,7 @@ def run_fig11_scale_up(
     cluster_types: _t.Sequence[str] = ("docker", "k8s"),
 ) -> ExperimentResult:
     """Fig. 11: total time (median) to *scale up* on both clusters."""
-    return _deployment_figure(
-        "Fig. 11",
-        "Total time (median) to scale up four services on two clusters",
-        pre_create=True,
-        value="total",
-        paper_shape=(
-            "Docker < 1 s for Asm/Nginx, Kubernetes ~ 3 s; no notable "
-            "Asm-vs-Nginx difference; ResNet significantly slower; "
-            "Nginx+Py slower than Nginx."
-        ),
-        services=services,
-        cluster_types=cluster_types,
-        n_instances=n_instances,
-    )
+    return _figure_from_spec("fig11", services, cluster_types, n_instances)
 
 
 def run_fig12_create_scale_up(
@@ -160,19 +270,7 @@ def run_fig12_create_scale_up(
     cluster_types: _t.Sequence[str] = ("docker", "k8s"),
 ) -> ExperimentResult:
     """Fig. 12: total time (median) to *create + scale up*."""
-    return _deployment_figure(
-        "Fig. 12",
-        "Total time (median) to create + scale up four services",
-        pre_create=False,
-        value="total",
-        paper_shape=(
-            "Creating the containers adds around 100 ms to the first "
-            "request versus fig. 11 (relatively negligible for ResNet)."
-        ),
-        services=services,
-        cluster_types=cluster_types,
-        n_instances=n_instances,
-    )
+    return _figure_from_spec("fig12", services, cluster_types, n_instances)
 
 
 def run_fig14_wait_after_scale_up(
@@ -181,19 +279,7 @@ def run_fig14_wait_after_scale_up(
     cluster_types: _t.Sequence[str] = ("docker", "k8s"),
 ) -> ExperimentResult:
     """Fig. 14: wait time (median) until ready after *scale up*."""
-    return _deployment_figure(
-        "Fig. 14",
-        "Wait time (median) until services are ready after scale up",
-        pre_create=True,
-        value="wait",
-        paper_shape=(
-            "Included in fig. 11's totals; for ResNet the wait alone "
-            "accounts for more than a fourth of the total time."
-        ),
-        services=services,
-        cluster_types=cluster_types,
-        n_instances=n_instances,
-    )
+    return _figure_from_spec("fig14", services, cluster_types, n_instances)
 
 
 def run_fig15_wait_after_create_scale_up(
@@ -202,13 +288,4 @@ def run_fig15_wait_after_create_scale_up(
     cluster_types: _t.Sequence[str] = ("docker", "k8s"),
 ) -> ExperimentResult:
     """Fig. 15: wait time (median) until ready after *create + scale up*."""
-    return _deployment_figure(
-        "Fig. 15",
-        "Wait time (median) until ready after create + scale up",
-        pre_create=False,
-        value="wait",
-        paper_shape="Included in fig. 12's totals; same ordering as fig. 14.",
-        services=services,
-        cluster_types=cluster_types,
-        n_instances=n_instances,
-    )
+    return _figure_from_spec("fig15", services, cluster_types, n_instances)

@@ -98,9 +98,13 @@ class APIServer:
         delivery time — no dead process is ever spawned for them.
         """
         self.env.call_later(
-            self.profile.watch_latency_s,
-            lambda: watch.events.put(event) if watch.active else None,
+            self.profile.watch_latency_s, self._fan_out, watch, event
         )
+
+    @staticmethod
+    def _fan_out(watch: Watch, event: WatchEvent) -> None:
+        if watch.active:
+            watch.events.put(event)
 
     @staticmethod
     def _kind_of(obj: _t.Any) -> str:

@@ -20,6 +20,12 @@ class IPv4Address:
         if not 0 <= self.value <= 0xFFFFFFFF:
             raise ValueError(f"IPv4 value out of range: {self.value:#x}")
 
+    def __hash__(self) -> int:
+        # Addresses are dict keys on every flow-table lookup; the
+        # non-negative 32-bit value is its own perfect hash, cheaper
+        # than the generated hash((self.value,)) tuple round-trip.
+        return self.value
+
     @classmethod
     def parse(cls, text: str) -> "IPv4Address":
         parts = text.split(".")
@@ -49,6 +55,11 @@ class MACAddress:
     def __post_init__(self) -> None:
         if not 0 <= self.value <= 0xFFFFFFFFFFFF:
             raise ValueError(f"MAC value out of range: {self.value:#x}")
+
+    def __hash__(self) -> int:
+        # Same reasoning as IPv4Address: the 48-bit value fits a hash
+        # slot directly.
+        return self.value
 
     @classmethod
     def parse(cls, text: str) -> "MACAddress":

@@ -38,6 +38,22 @@ _conn_ids = itertools.count(1)
 #: First ephemeral source port handed out by hosts.
 EPHEMERAL_BASE = 32768
 
+# Flag combinations and raw bit values, precomputed once: enum.Flag's
+# ``|`` and ``&`` allocate a fresh member per operation, which is
+# measurable at one ``receive()`` per packet — the demux below tests
+# raw ints instead.
+_PSH_ACK = TCPFlags.PSH | TCPFlags.ACK
+_SYN_ACK = TCPFlags.SYN | TCPFlags.ACK
+_RST_BIT = TCPFlags.RST.value
+_SYN_BIT = TCPFlags.SYN.value
+_SYN_ACK_BITS = _SYN_ACK.value
+
+# L2 resolution is not modelled (see DESIGN.md §2): every packet is
+# "broadcast" at the Ethernet layer and switches match on L3/L4 only.
+# One shared address object instead of a fresh (validated) dataclass
+# instance per transmitted packet.
+_BROADCAST_MAC = MACAddress(0xFFFFFFFFFFFF)
+
 
 class ConnectionRefused(Exception):
     """SYN answered by RST: no listener on the destination port."""
@@ -116,7 +132,7 @@ class Connection:
             TCPSegment(
                 src_port=self.local_port,
                 dst_port=self.remote_port,
-                flags=TCPFlags.PSH | TCPFlags.ACK,
+                flags=_PSH_ACK,
                 payload_bytes=payload_bytes,
                 payload=payload,
                 conn_id=self.conn_id,
@@ -331,9 +347,10 @@ class Host(NetDevice):
 
     def receive(self, packet: Packet, iface: NetworkInterface) -> None:
         seg = packet.tcp
+        flag_bits = seg.flags.value
 
         # Handshake replies for connections we initiated.
-        if seg.flags & TCPFlags.RST:
+        if flag_bits & _RST_BIT:
             pending = self._pending.get(seg.conn_id)
             if pending is not None and not pending.triggered:
                 pending.fail(
@@ -347,13 +364,13 @@ class Host(NetDevice):
                 conn.incoming.put(ConnectionReset("peer reset the connection"))
             return
 
-        if seg.flags & TCPFlags.SYN and seg.flags & TCPFlags.ACK:
+        if flag_bits & _SYN_ACK_BITS == _SYN_ACK_BITS:
             pending = self._pending.get(seg.conn_id)
             if pending is not None and not pending.triggered:
                 pending.succeed(packet)
             return
 
-        if seg.flags & TCPFlags.SYN:
+        if flag_bits & _SYN_BIT:
             self._handle_syn(packet)
             return
 
@@ -402,7 +419,7 @@ class Host(NetDevice):
             TCPSegment(
                 src_port=seg.dst_port,
                 dst_port=seg.src_port,
-                flags=TCPFlags.SYN | TCPFlags.ACK,
+                flags=_SYN_ACK,
                 conn_id=seg.conn_id,
             ),
             src_ip=conn.local_ip,
@@ -443,7 +460,7 @@ class Host(NetDevice):
     ) -> None:
         packet = Packet(
             eth_src=self.iface.mac,
-            eth_dst=MACAddress(0xFFFFFFFFFFFF),
+            eth_dst=_BROADCAST_MAC,
             ip_src=src_ip if src_ip is not None else self.ip,
             ip_dst=dst_ip,
             tcp=segment,

@@ -11,6 +11,7 @@ from __future__ import annotations
 import typing as _t
 from collections import deque
 
+from repro.net.packet import HEADER_BYTES
 from repro.sim import Environment
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -31,7 +32,15 @@ class LinkEndpoint:
     instead of a store hand-off plus a propagation process.  The
     serialization timeline — one packet on the wire at a time,
     propagation pipelined — is unchanged.
+
+    (A one-event-per-packet variant that schedules delivery directly
+    at transmit time — tracking only a ``busy-until`` timestamp — was
+    tried and rejected: it moves the delivery's heap sequence number
+    from serialization end to transmit time, which reorders
+    same-timestamp events and breaks byte-identical replay.)
     """
+
+    __slots__ = ("link", "iface", "peer", "_pending", "_busy", "_call_later")
 
     def __init__(self, link: "Link", iface: "NetworkInterface") -> None:
         self.link = link
@@ -39,6 +48,22 @@ class LinkEndpoint:
         self.peer: "LinkEndpoint | None" = None
         self._pending: deque["Packet"] = deque()
         self._busy = False
+        # Hot-path binding, hoisted once: the env.call_later attribute
+        # chain is otherwise re-resolved twice per packet-hop.
+        self._call_later = link.env.call_later
+
+    def _serialize(self, packet: "Packet") -> None:
+        # Serialization at line rate, then propagation.  Bound method +
+        # operand on the heap entry: no per-packet closure allocation.
+        # The delay keeps the exact ``wire_size * 8 / bandwidth``
+        # association (a precomputed 8/bandwidth factor would change
+        # the float rounding and with it the replay fingerprint); the
+        # wire size is inlined to skip the property descriptor.
+        self._call_later(
+            (HEADER_BYTES + packet.tcp.payload_bytes) * 8 / self.link.bandwidth_bps,
+            self._serialized,
+            packet,
+        )
 
     def transmit(self, packet: "Packet") -> None:
         """Enqueue a packet for transmission towards the peer."""
@@ -48,17 +73,8 @@ class LinkEndpoint:
             self._busy = True
             self._serialize(packet)
 
-    def _serialize(self, packet: "Packet") -> None:
-        # Serialization at line rate, then propagation.
-        self.link.env.call_later(
-            packet.wire_size * 8 / self.link.bandwidth_bps,
-            lambda: self._serialized(packet),
-        )
-
     def _serialized(self, packet: "Packet") -> None:
-        self.link.env.call_later(
-            self.link.latency_s, lambda: self._deliver(packet)
-        )
+        self._call_later(self.link.latency_s, self._deliver, packet)
         if self._pending:
             self._serialize(self._pending.popleft())
         else:

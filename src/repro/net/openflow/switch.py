@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import itertools
 import typing as _t
+from collections import deque
 
 from repro.net.device import NetDevice, NetworkInterface
 from repro.net.openflow.actions import Action, Drop, Output, SetField, ToController
@@ -20,7 +21,7 @@ from repro.net.openflow.messages import (
 )
 from repro.net.openflow.table import FlowEntry, FlowTable, REASON_DELETE
 from repro.net.packet import Packet
-from repro.sim import Environment, Store
+from repro.sim import Environment
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sdnfw.app import SDNApp
@@ -31,6 +32,16 @@ class ControlChannel:
 
     Both directions preserve FIFO order (a TCP control connection in
     the real system); each message is delayed by ``latency_s``.
+
+    Each direction is a callback busy-chain rather than a Store plus a
+    pump process: the first message in a burst schedules its own
+    delivery, later ones queue in a deque, and each delivery chains the
+    next.  That keeps the old pump's timeline — message *n+1* of a
+    burst departs when message *n* lands, so back-to-back messages
+    space out by ``latency_s`` — at two heap entries per message
+    instead of a store hand-off plus a process resumption.  On
+    delivery the message is dispatched *before* the next one is
+    scheduled, matching the pump's resume-dispatch-then-wait order.
     """
 
     def __init__(self, env: Environment, latency_s: float = 200e-6) -> None:
@@ -40,34 +51,48 @@ class ControlChannel:
         self.latency_s = float(latency_s)
         self.switch: "OpenFlowSwitch | None" = None
         self.controller: "SDNApp | None" = None
-        self._to_controller: Store = Store(env)
-        self._to_switch: Store = Store(env)
-        env.process(self._pump_to_controller(), name="chan-up")
-        env.process(self._pump_to_switch(), name="chan-down")
+        self._up_queue: deque = deque()
+        self._up_busy = False
+        self._down_queue: deque = deque()
+        self._down_busy = False
 
     def bind(self, switch: "OpenFlowSwitch", controller: "SDNApp") -> None:
         self.switch = switch
         self.controller = controller
 
     def send_to_controller(self, message: _t.Any) -> None:
-        self._to_controller.put(message)
+        if self._up_busy:
+            self._up_queue.append(message)
+        else:
+            self._up_busy = True
+            self.env.call_later(self.latency_s, self._deliver_up, message)
 
     def send_to_switch(self, message: _t.Any) -> None:
-        self._to_switch.put(message)
+        if self._down_busy:
+            self._down_queue.append(message)
+        else:
+            self._down_busy = True
+            self.env.call_later(self.latency_s, self._deliver_down, message)
 
-    def _pump_to_controller(self):
-        while True:
-            message = yield self._to_controller.get()
-            yield self.env.timeout(self.latency_s)
-            if self.controller is not None and self.switch is not None:
-                self.controller.dispatch_switch_message(self.switch, message)
+    def _deliver_up(self, message: _t.Any) -> None:
+        if self.controller is not None and self.switch is not None:
+            self.controller.dispatch_switch_message(self.switch, message)
+        if self._up_queue:
+            self.env.call_later(
+                self.latency_s, self._deliver_up, self._up_queue.popleft()
+            )
+        else:
+            self._up_busy = False
 
-    def _pump_to_switch(self):
-        while True:
-            message = yield self._to_switch.get()
-            yield self.env.timeout(self.latency_s)
-            if self.switch is not None:
-                self.switch.handle_controller_message(message)
+    def _deliver_down(self, message: _t.Any) -> None:
+        if self.switch is not None:
+            self.switch.handle_controller_message(message)
+        if self._down_queue:
+            self.env.call_later(
+                self.latency_s, self._deliver_down, self._down_queue.popleft()
+            )
+        else:
+            self._down_busy = False
 
 
 class OpenFlowSwitch(NetDevice):
@@ -136,8 +161,9 @@ class OpenFlowSwitch(NetDevice):
         in_port = self._port_numbers[iface]
         # One slim callback per packet instead of a full process: the
         # pipeline body runs after the lookup delay and never blocks.
+        # Operands travel on the heap entry itself — no closure.
         self.env.call_later(
-            self.lookup_delay_s, lambda: self._pipeline(packet, in_port)
+            self.lookup_delay_s, self._pipeline, packet, in_port
         )
 
     def _pipeline(self, packet: Packet, in_port: int) -> None:
@@ -324,17 +350,17 @@ class OpenFlowSwitch(NetDevice):
         self._wake_at = tick
         self._wake_gen += 1
         gen = self._wake_gen
-        self.env.call_at(tick, lambda: self._expiry_wake(gen))
+        self.env.call_at(tick, self._expiry_wake, gen)
 
     def _expiry_wake(self, gen: int) -> None:
         if gen != self._wake_gen:
             return  # superseded by an earlier wakeup
         self._wake_at = None
-        for entry, reason in self.table.sweep_expired(self.env.now):
+        expired, deadline = self.table.sweep_and_deadline(self.env.now)
+        for entry, reason in expired:
             self._notify_removed(entry, reason)
         # Idle-deadline entries may have been touched since this wake
         # was armed (a spurious wake): re-arm at the new earliest
         # possible expiry, if any entry can still expire.
-        deadline = self.table.earliest_deadline()
         if deadline is not None:
             self._schedule_expiry_wake(deadline)

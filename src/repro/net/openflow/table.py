@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import bisect
 import itertools
+import operator
 import typing as _t
 
 from repro.net.openflow.actions import Action
@@ -17,48 +18,45 @@ REASON_IDLE_TIMEOUT = "idle_timeout"
 REASON_HARD_TIMEOUT = "hard_timeout"
 REASON_DELETE = "delete"
 
-#: Match fields an index shape can bind, in canonical order.
+#: Match fields an index shape can bind, in canonical order.  The
+#: order matches the packet's cached ``match_values()`` tuple.
 _SHAPE_FIELDS = ("ip_src", "ip_dst", "tcp_src", "tcp_dst")
 
-#: Per-field packet accessors, matching FlowMatch.matches().
-_PACKET_GETTERS: dict[str, _t.Callable[[Packet], _t.Any]] = {
-    "ip_src": lambda p: p.ip_src,
-    "ip_dst": lambda p: p.ip_dst,
-    "tcp_src": lambda p: p.tcp.src_port,
-    "tcp_dst": lambda p: p.tcp.dst_port,
-}
+#: Interned shape table: all 16 possible bound-field combinations,
+#: indexed by bitmask over _SHAPE_FIELDS.  ``_shape_of`` returns one
+#: of these shared tuples instead of allocating a fresh one per call.
+_SHAPES: tuple[tuple[str, ...], ...] = tuple(
+    tuple(f for bit, f in enumerate(_SHAPE_FIELDS) if mask >> bit & 1)
+    for mask in range(16)
+)
 
-_shape_key_cache: dict[tuple[str, ...], _t.Callable[[Packet], tuple]] = {}
+#: shape -> C-level getter slicing that shape's key out of a 4-tuple
+#: of match values.  Single-field shapes key their buckets by the bare
+#: value (no 1-tuple wrapper) — cheaper to build and to hash.
+_KEY_GETTERS: dict[tuple[str, ...], _t.Callable[[tuple], _t.Any]] = {}
+for _shape in _SHAPES:
+    if not _shape:
+        _KEY_GETTERS[_shape] = lambda mv: ()
+    else:
+        _KEY_GETTERS[_shape] = operator.itemgetter(
+            *(_SHAPE_FIELDS.index(f) for f in _shape)
+        )
+del _shape
 
 
 def _shape_of(match: FlowMatch) -> tuple[str, ...]:
     """The match's bound fields in canonical order (its index shape)."""
-    return tuple(f for f in _SHAPE_FIELDS if getattr(match, f) is not None)
+    return _SHAPES[
+        (match.ip_src is not None)
+        | (match.ip_dst is not None) << 1
+        | (match.tcp_src is not None) << 2
+        | (match.tcp_dst is not None) << 3
+    ]
 
 
-def _key_builder_for(shape: tuple[str, ...]) -> _t.Callable[[Packet], tuple]:
-    """A closure extracting the shape's packet-field key (unrolled —
-    a generic genexpr here costs real time on the per-packet path)."""
-    builder = _shape_key_cache.get(shape)
-    if builder is not None:
-        return builder
-    getters = tuple(_PACKET_GETTERS[f] for f in shape)
-    if len(getters) == 0:
-        builder = lambda p: ()  # noqa: E731
-    elif len(getters) == 1:
-        (g0,) = getters
-        builder = lambda p: (g0(p),)  # noqa: E731
-    elif len(getters) == 2:
-        g0, g1 = getters
-        builder = lambda p: (g0(p), g1(p))  # noqa: E731
-    elif len(getters) == 3:
-        g0, g1, g2 = getters
-        builder = lambda p: (g0(p), g1(p), g2(p))  # noqa: E731
-    else:
-        g0, g1, g2, g3 = getters
-        builder = lambda p: (g0(p), g1(p), g2(p), g3(p))  # noqa: E731
-    _shape_key_cache[shape] = builder
-    return builder
+def _match_values(match: FlowMatch) -> tuple:
+    """The match's field values in ``match_values()`` order."""
+    return (match.ip_src, match.ip_dst, match.tcp_src, match.tcp_dst)
 
 
 class FlowEntry:
@@ -69,6 +67,21 @@ class FlowEntry:
     (the controller's FlowMemory re-installs known flows quickly) so
     the table stays small.
     """
+
+    __slots__ = (
+        "entry_id",
+        "match",
+        "actions",
+        "priority",
+        "idle_timeout",
+        "hard_timeout",
+        "cookie",
+        "notify_removal",
+        "installed_at",
+        "last_used",
+        "packet_count",
+        "_order",
+    )
 
     def __init__(
         self,
@@ -145,15 +158,25 @@ class FlowTable:
     sorted by ``(-priority, install order)``; a lookup takes the best
     head across the (few) shapes, which is exactly the entry a linear
     first-match scan of the master list would return.
+
+    Lookup keys are sliced out of the packet's cached
+    :meth:`~repro.net.packet.Packet.match_values` tuple with interned
+    per-shape ``itemgetter`` objects — the key is built in C from a
+    tuple computed once per packet, not rebuilt field-by-field at
+    every hop.  A cookie-keyed side index makes FlowMod deletes by
+    cookie (the controller's teardown path) independent of table size.
     """
 
     def __init__(self) -> None:
         self._entries: list[FlowEntry] = []
         # shape -> {field-values key -> sorted [(-prio, order, entry)]}
-        self._index: dict[tuple[str, ...], dict[tuple, list]] = {}
-        # Flat lookup plan: one (key-builder, buckets) pair per live
+        self._index: dict[tuple[str, ...], dict[_t.Any, list]] = {}
+        # Flat lookup plan: one (key-getter, buckets) pair per live
         # shape, rebuilt only when the shape set changes.
-        self._plans: list[tuple[_t.Callable[[Packet], tuple], dict]] = []
+        self._plans: list[tuple[_t.Callable[[tuple], _t.Any], dict]] = []
+        # cookie -> live entries carrying it (deletes by cookie are
+        # the controller's redirect-teardown hot path).
+        self._by_cookie: dict[_t.Any, list[FlowEntry]] = {}
         self._order = itertools.count(1)
         #: Largest size the table ever reached (benchmark metric).
         self.peak_size = 0
@@ -186,9 +209,10 @@ class FlowTable:
 
     def lookup(self, packet: Packet) -> FlowEntry | None:
         """Highest-priority matching entry, or ``None`` (table miss)."""
+        mv = packet.match_values()
         best_head: tuple | None = None
-        for build_key, buckets in self._plans:
-            bucket = buckets.get(build_key(packet))
+        for get_key, buckets in self._plans:
+            bucket = buckets.get(get_key(mv))
             if bucket:
                 head = bucket[0]
                 # Install orders are unique, so this tuple comparison
@@ -231,7 +255,7 @@ class FlowTable:
             shape = _shape_of(match)
             buckets = self._index.get(shape)
             bucket = (
-                buckets.get(tuple(getattr(match, f) for f in shape))
+                buckets.get(_KEY_GETTERS[shape](_match_values(match)))
                 if buckets is not None
                 else None
             )
@@ -243,40 +267,87 @@ class FlowTable:
                 if (cookie is None or item[2].cookie == cookie)
                 and (priority is None or item[2].priority == priority)
             ]
-            for entry in removed:
-                self._entries.remove(entry)
-                self._index_discard(entry)
+            self._bulk_remove(removed)
             return removed
-        removed = []
-        kept = []
-        for entry in self._entries:
-            hit = True
-            if cookie is not None and entry.cookie != cookie:
-                hit = False
-            if priority is not None and entry.priority != priority:
-                hit = False
-            (removed if hit else kept).append(entry)
-        if removed:
-            self._entries = kept
-            for entry in removed:
-                self._index_discard(entry)
+        if cookie is not None:
+            # Cookie filter: candidates come from the cookie index,
+            # re-sorted into master-table order so callers see the
+            # same removal order a linear scan produced.
+            candidates = self._by_cookie.get(cookie)
+            if not candidates:
+                return []
+            removed = [
+                entry
+                for entry in candidates
+                if priority is None or entry.priority == priority
+            ]
+            removed.sort(key=lambda e: (-e.priority, e._order))
+            self._bulk_remove(removed)
+            return removed
+        removed = [e for e in self._entries if e.priority == priority]
+        self._bulk_remove(removed)
         return removed
+
+    def _bulk_remove(self, removed: list[FlowEntry]) -> None:
+        if not removed:
+            return
+        if len(removed) == 1:
+            self._entries.remove(removed[0])
+        else:
+            dead = set(removed)
+            self._entries = [e for e in self._entries if e not in dead]
+        for entry in removed:
+            self._index_discard(entry)
 
     def sweep_expired(self, now: float) -> list[tuple[FlowEntry, str]]:
         """Remove and return all expired entries with their reason."""
         expired: list[tuple[FlowEntry, str]] = []
-        kept: list[FlowEntry] = []
         for entry in self._entries:
             reason = entry.expired(now)
-            if reason is None:
-                kept.append(entry)
-            else:
+            if reason is not None:
                 expired.append((entry, reason))
         if expired:
-            self._entries = kept
-            for entry, _reason in expired:
-                self._index_discard(entry)
+            # Rebuild the master list only when something actually
+            # expired — most deadline wakes find nothing to do.
+            self._bulk_remove([entry for entry, _reason in expired])
         return expired
+
+    def sweep_and_deadline(self, now: float) -> tuple[list, float | None]:
+        """One-pass :meth:`sweep_expired` + :meth:`earliest_deadline`.
+
+        The deadline-driven expiry wake needs both — what expired, and
+        when the next survivor *could* expire — and with low idle
+        timeouts the table is scanned at every sweep-grid tick, so the
+        two passes (plus two method calls per entry) are fused into a
+        single loop over inlined timeout arithmetic.  Returns
+        ``(expired, earliest)`` where ``expired`` is the
+        :meth:`sweep_expired` list and ``earliest`` the surviving
+        entries' earliest possible expiry (or ``None``).
+        """
+        expired: list[tuple[FlowEntry, str]] = []
+        earliest: float | None = None
+        for entry in self._entries:
+            hard = entry.hard_timeout
+            if hard:
+                if now - entry.installed_at >= hard:
+                    expired.append((entry, REASON_HARD_TIMEOUT))
+                    continue
+                deadline = entry.installed_at + hard
+            else:
+                deadline = None
+            idle = entry.idle_timeout
+            if idle:
+                if now - entry.last_used >= idle:
+                    expired.append((entry, REASON_IDLE_TIMEOUT))
+                    continue
+                idle_deadline = entry.last_used + idle
+                if deadline is None or idle_deadline < deadline:
+                    deadline = idle_deadline
+            if deadline is not None and (earliest is None or deadline < earliest):
+                earliest = deadline
+        if expired:
+            self._bulk_remove([entry for entry, _reason in expired])
+        return expired, earliest
 
     def earliest_deadline(self) -> float | None:
         """Soonest possible expiry across all entries (lower bound)."""
@@ -291,34 +362,48 @@ class FlowTable:
 
     def _index_add(self, entry: FlowEntry) -> None:
         shape = _shape_of(entry.match)
-        key = tuple(getattr(entry.match, f) for f in shape)
+        key = _KEY_GETTERS[shape](_match_values(entry.match))
         buckets = self._index.get(shape)
         if buckets is None:
             buckets = self._index[shape] = {}
-            self._plans.append((_key_builder_for(shape), buckets))
+            self._plans.append((_KEY_GETTERS[shape], buckets))
         bucket = buckets.get(key)
         if bucket is None:
             buckets[key] = [(-entry.priority, entry._order, entry)]
         else:
             bisect.insort(bucket, (-entry.priority, entry._order, entry))
+        if entry.cookie is not None:
+            holders = self._by_cookie.get(entry.cookie)
+            if holders is None:
+                self._by_cookie[entry.cookie] = [entry]
+            else:
+                holders.append(entry)
 
     def _index_discard(self, entry: FlowEntry) -> None:
         shape = _shape_of(entry.match)
         buckets = self._index.get(shape)
-        if buckets is None:
-            return
-        key = tuple(getattr(entry.match, f) for f in shape)
-        bucket = buckets.get(key)
-        if bucket is None:
-            return
-        item = (-entry.priority, entry._order, entry)
-        pos = bisect.bisect_left(bucket, item)
-        if pos < len(bucket) and bucket[pos][2] is entry:
-            del bucket[pos]
-            if not bucket:
-                del buckets[key]
-                if not buckets:
-                    del self._index[shape]
-                    self._plans = [
-                        (b, d) for b, d in self._plans if d is not buckets
-                    ]
+        if buckets is not None:
+            key = _KEY_GETTERS[shape](_match_values(entry.match))
+            bucket = buckets.get(key)
+            if bucket is not None:
+                item = (-entry.priority, entry._order, entry)
+                pos = bisect.bisect_left(bucket, item)
+                if pos < len(bucket) and bucket[pos][2] is entry:
+                    del bucket[pos]
+                    if not bucket:
+                        del buckets[key]
+                        if not buckets:
+                            del self._index[shape]
+                            self._plans = [
+                                (g, d) for g, d in self._plans if d is not buckets
+                            ]
+        if entry.cookie is not None:
+            holders = self._by_cookie.get(entry.cookie)
+            if holders is not None:
+                try:
+                    holders.remove(entry)
+                except ValueError:
+                    pass
+                else:
+                    if not holders:
+                        del self._by_cookie[entry.cookie]

@@ -9,6 +9,15 @@ Large transfers are modelled as a single "burst" segment whose size is
 the full byte count — the bottleneck-link serialization time then
 approximates streaming throughput without simulating every MSS-sized
 segment (see DESIGN.md §2).
+
+Packets and TCP segments are ``__slots__`` classes, not dataclasses:
+they are the highest-volume allocations in the simulator (one segment
++ one packet per hop-traversing message), and the slotted layout both
+shrinks them and speeds up the header-field access on the switch
+lookup path.  A packet also caches its match-key tuple — the
+(ip_src, ip_dst, src_port, dst_port) values every flow-table lookup
+needs — so the key is computed once at first lookup and reused by
+every subsequent switch hop; *set-field* rewrites invalidate it.
 """
 
 from __future__ import annotations
@@ -35,7 +44,7 @@ class TCPFlags(enum.Flag):
     PSH = enum.auto()
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class HTTPRequest:
     """An application-layer request (content size only, no bytes)."""
 
@@ -49,7 +58,7 @@ class HTTPRequest:
         return self.body_bytes + self.header_bytes
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class HTTPResponse:
     """An application-layer response."""
 
@@ -66,24 +75,76 @@ class HTTPResponse:
         return 200 <= self.status < 300
 
 
-@dataclasses.dataclass(frozen=True)
 class TCPSegment:
-    """TCP header fields plus payload metadata."""
+    """TCP header fields plus payload metadata.
 
-    src_port: int
-    dst_port: int
-    flags: TCPFlags
-    payload_bytes: int = 0
-    payload: _t.Any = None
-    #: Connection identifier assigned by the initiating host; lets the
-    #: endpoints demultiplex without modelling sequence numbers.
-    conn_id: int = 0
+    Mutable on purpose: OpenFlow *set-field* port rewrites patch
+    ``src_port`` / ``dst_port`` in place instead of allocating a
+    replacement segment per switch hop.  Every packet owns its segment
+    exclusively — hosts build a fresh one per transmission and
+    :meth:`Packet.copy` clones it — so in-place rewrites never leak
+    into another packet.
+    """
+
+    __slots__ = (
+        "src_port",
+        "dst_port",
+        "flags",
+        "payload_bytes",
+        "payload",
+        "conn_id",
+    )
+
+    def __init__(
+        self,
+        src_port: int,
+        dst_port: int,
+        flags: TCPFlags,
+        payload_bytes: int = 0,
+        payload: _t.Any = None,
+        conn_id: int = 0,
+    ) -> None:
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.flags = flags
+        self.payload_bytes = payload_bytes
+        self.payload = payload
+        #: Connection identifier assigned by the initiating host; lets
+        #: the endpoints demultiplex without modelling sequence numbers.
+        self.conn_id = conn_id
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TCPSegment):
+            return NotImplemented
+        return (
+            self.src_port == other.src_port
+            and self.dst_port == other.dst_port
+            and self.flags == other.flags
+            and self.payload_bytes == other.payload_bytes
+            and self.payload == other.payload
+            and self.conn_id == other.conn_id
+        )
+
+    def clone(self) -> "TCPSegment":
+        return TCPSegment(
+            self.src_port,
+            self.dst_port,
+            self.flags,
+            self.payload_bytes,
+            self.payload,
+            self.conn_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TCPSegment({self.src_port}, {self.dst_port}, {self.flags!r}, "
+            f"payload_bytes={self.payload_bytes}, conn_id={self.conn_id})"
+        )
 
 
 _packet_ids = itertools.count(1)
 
 
-@dataclasses.dataclass
 class Packet:
     """A simulated Ethernet/IPv4/TCP packet.
 
@@ -92,30 +153,75 @@ class Packet:
     paper's transparent redirection does.
     """
 
-    eth_src: MACAddress
-    eth_dst: MACAddress
-    ip_src: IPv4Address
-    ip_dst: IPv4Address
-    tcp: TCPSegment
-    packet_id: int = dataclasses.field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "eth_src",
+        "eth_dst",
+        "ip_src",
+        "ip_dst",
+        "tcp",
+        "packet_id",
+        "_mk",
+    )
+
+    def __init__(
+        self,
+        eth_src: MACAddress,
+        eth_dst: MACAddress,
+        ip_src: IPv4Address,
+        ip_dst: IPv4Address,
+        tcp: TCPSegment,
+        packet_id: int | None = None,
+    ) -> None:
+        self.eth_src = eth_src
+        self.eth_dst = eth_dst
+        self.ip_src = ip_src
+        self.ip_dst = ip_dst
+        self.tcp = tcp
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        #: Cached (ip_src, ip_dst, src_port, dst_port) match-key tuple;
+        #: ``None`` until the first flow-table lookup and after any
+        #: header rewrite (see ``SetField.apply``).
+        self._mk: tuple | None = None
 
     @property
     def wire_size(self) -> int:
         """Bytes on the wire: headers plus payload."""
         return HEADER_BYTES + self.tcp.payload_bytes
 
+    def match_values(self) -> tuple:
+        """The (ip_src, ip_dst, src_port, dst_port) tuple, cached.
+
+        Computed at most once per packet between header rewrites; every
+        switch hop's flow-table lookup slices its match key out of this
+        tuple instead of re-reading the header fields.
+        """
+        mk = self._mk
+        if mk is None:
+            tcp = self.tcp
+            mk = self._mk = (
+                self.ip_src,
+                self.ip_dst,
+                tcp.src_port,
+                tcp.dst_port,
+            )
+        return mk
+
     def flow_key(self) -> tuple:
         """The 5-tuple-ish key used for exact-match flow rules."""
-        return (self.ip_src, self.ip_dst, self.tcp.src_port, self.tcp.dst_port)
+        return self.match_values()
 
     def copy(self) -> "Packet":
-        """A fresh packet with the same headers (new identity)."""
+        """A fresh packet with the same headers (new identity).
+
+        The TCP segment is cloned, not shared: in-place *set-field*
+        rewrites on either packet must not leak into the other.
+        """
         return Packet(
             eth_src=self.eth_src,
             eth_dst=self.eth_dst,
             ip_src=self.ip_src,
             ip_dst=self.ip_dst,
-            tcp=self.tcp,
+            tcp=self.tcp.clone(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -22,32 +22,6 @@ class _StopRun(Exception):
     """Internal: carries the value of the ``until`` event out of run()."""
 
 
-class _Callback:
-    """A slim heap entry that runs a plain function at its scheduled time.
-
-    Duck-types just enough of the :class:`Event` protocol for
-    :meth:`Environment.step` — a ``callbacks`` list plus the class-level
-    ``_ok`` / ``_defused`` flags — while skipping the value, waiter, and
-    Process machinery entirely.  Hot paths (switch pipelines, watch
-    fan-out, expiry wakeups) use it via :meth:`Environment.call_at` /
-    :meth:`Environment.call_later` to schedule one-shot work with a
-    single small allocation instead of the ``Event`` + ``Timeout`` +
-    ``Process`` + ``_Initialize`` chain a generator-based timer costs.
-
-    Not awaitable: a ``_Callback`` never carries a value and cannot be
-    yielded from a process.
-    """
-
-    __slots__ = ("callbacks",)
-    _ok = True
-    _defused = False
-
-    def __init__(self, fn: _t.Callable[[], None]) -> None:
-        # step() invokes each callback with the heap entry itself;
-        # adapt the zero-argument fn to that shape.
-        self.callbacks: list | None = [lambda _entry: fn()]
-
-
 class Environment:
     """A deterministic discrete-event environment.
 
@@ -60,7 +34,13 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        # Heap entries are (time, priority, seq, event) 4-tuples for
+        # real events, or (time, priority, seq, fn, args) 5-tuples for
+        # the slim scheduled callbacks of call_at / call_later.  The
+        # strictly-increasing seq guarantees comparisons never reach
+        # the heterogeneous tail elements, so the two shapes can share
+        # one heap; the loop discriminates by tuple length.
+        self._queue: list[tuple] = []
         self._seq = count()
         self._active_process: Process | None = None
         #: Total heap entries processed since construction — the
@@ -158,28 +138,44 @@ class Environment:
     def call_at(
         self,
         time: float,
-        fn: _t.Callable[[], None],
-        priority: int = NORMAL,
+        fn: _t.Callable[..., None],
+        *args: _t.Any,
     ) -> None:
-        """Run ``fn()`` at absolute simulated ``time`` (lightweight).
+        """Run ``fn(*args)`` at absolute simulated ``time`` (lightweight).
 
-        Schedules a single slim heap entry instead of a process; use
-        for fire-and-forget work on hot paths.  ``fn`` must not yield.
+        Schedules a single slim heap entry — a bare tuple, no Event,
+        no Process, not even a wrapper object — so hot paths (switch
+        pipelines, link hops, watch fan-out, expiry wakeups) can
+        schedule fire-and-forget work at the cost of one heap push.
+        Carrying ``args`` on the entry lets call sites pass a bound
+        method plus its operands instead of allocating a closure per
+        scheduled call.  ``fn`` must not yield; it runs to completion
+        inside the event loop, and an exception escaping it surfaces
+        as :class:`SimulationError` (chained to the original).
+        Raises ``ValueError`` when ``time`` lies in the past.
         """
-        self.schedule_at(_t.cast(Event, _Callback(fn)), time, priority)
+        if time < self._now:
+            raise ValueError(f"time {time!r} lies in the past (now={self._now})")
+        heapq.heappush(
+            self._queue, (time, NORMAL, next(self._seq), fn, args)
+        )
 
     def call_later(
         self,
         delay: float,
-        fn: _t.Callable[[], None],
-        priority: int = NORMAL,
+        fn: _t.Callable[..., None],
+        *args: _t.Any,
     ) -> None:
-        """Run ``fn()`` after ``delay`` seconds (lightweight)."""
+        """Run ``fn(*args)`` after ``delay`` seconds (lightweight).
+
+        The relative-delay companion of :meth:`call_at`; same slim
+        heap entry, same error semantics.  Raises ``ValueError`` on a
+        negative delay.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         heapq.heappush(
-            self._queue,
-            (self._now + delay, priority, next(self._seq), _Callback(fn)),
+            self._queue, (self._now + delay, NORMAL, next(self._seq), fn, args)
         )
 
     # -- execution -------------------------------------------------------
@@ -187,10 +183,24 @@ class Environment:
     def step(self) -> None:
         """Process the next event on the heap."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            item = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        self._now = item[0]
         self.events_processed += 1
+
+        if len(item) == 5:
+            # Slim path: no callback list, no value, no defuse protocol.
+            try:
+                item[3](*item[4])
+            except (_StopRun, SimulationError):
+                raise
+            except Exception as exc:
+                raise SimulationError(
+                    f"scheduled callback {item[3]!r} raised {exc!r}"
+                ) from exc
+            return
+        event = item[3]
 
         # Mark processed *before* running callbacks so conditions and
         # late registrations observe a consistent state.
@@ -234,9 +244,40 @@ class Environment:
                 heapq.heappush(self._queue, (at, -1, next(self._seq), stop))
                 stop.callbacks.append(self._stop_callback)
 
+        # The loop below is step() unrolled with the hot locals bound
+        # once: at millions of events per run, the per-event method
+        # call, attribute reloads, and counter writes are measurable.
+        # Any semantic change here must be mirrored in step().
+        queue = self._queue
+        pop = heapq.heappop
+        events = self.events_processed
         try:
             while True:
-                self.step()
+                try:
+                    item = pop(queue)
+                except IndexError:
+                    raise EmptySchedule() from None
+                self._now = item[0]
+                events += 1
+
+                if len(item) == 5:
+                    try:
+                        item[3](*item[4])
+                    except (_StopRun, SimulationError):
+                        raise
+                    except Exception as exc:
+                        raise SimulationError(
+                            f"scheduled callback {item[3]!r} raised {exc!r}"
+                        ) from exc
+                    continue
+
+                event = item[3]
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in _t.cast(list, callbacks):
+                    callback(event)
+
+                if not event._ok and not event._defused:
+                    raise _t.cast(BaseException, event._value)
         except _StopRun as marker:
             return marker.args[0]
         except EmptySchedule:
@@ -249,6 +290,10 @@ class Environment:
                 # advance the clock to the requested time.
                 self._now = float(_t.cast(float, until))
             return None
+        finally:
+            # One write on exit instead of one per event; covers every
+            # path out of the loop, including escaping exceptions.
+            self.events_processed = events
 
     @staticmethod
     def _stop_callback(event: Event) -> None:

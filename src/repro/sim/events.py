@@ -16,6 +16,7 @@ them to resume; condition events use them to count completions.
 
 from __future__ import annotations
 
+import heapq
 import typing as _t
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -98,22 +99,27 @@ class Event:
 
     def succeed(self, value: _t.Any = None) -> "Event":
         """Attach a success value and schedule the event now."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=NORMAL)
+        # Inlined env.schedule(self): succeed() runs once per store
+        # hand-off, process resumption and condition fire, and the
+        # zero-delay case needs none of schedule()'s generality.
+        env = self.env
+        heapq.heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Attach an exception and schedule the event now."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, priority=NORMAL)
+        env = self.env
+        heapq.heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -152,10 +158,11 @@ class Timeout(Event):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         super().__init__(env)
-        self.delay = float(delay)
+        self.delay = delay = float(delay)
         self._ok = True
         self._value = value
-        env.schedule(self, priority=NORMAL, delay=self.delay)
+        # Inlined env.schedule (delay already validated above).
+        heapq.heappush(env._queue, (env._now + delay, NORMAL, next(env._seq), self))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
@@ -181,23 +188,22 @@ class Condition(Event):
         self._count = 0
         self._evaluate = evaluate
 
-        for event in self._events:
-            if event.env is not env:
-                raise ValueError("cannot mix events from different environments")
-
         if not self._events:
             # Trivially true.
             self.succeed({})
             return
 
+        check = self._check
         for event in self._events:
-            if event.processed:
-                self._check(event)
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+            if event.callbacks is None:
+                check(event)
             else:
-                _t.cast(list, event.callbacks).append(self._check)
+                event.callbacks.append(check)
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             if not event._ok:
                 # A sibling failed after the condition already fired;
                 # the condition can no longer surface it.
@@ -212,11 +218,24 @@ class Condition(Event):
             self.succeed(self._collect())
 
     def _collect(self) -> dict[Event, _t.Any]:
-        return {e: e._value for e in self._events if e.processed and e._ok}
+        return {
+            e: e._value for e in self._events if e.callbacks is None and e._ok
+        }
 
     @property
     def events(self) -> tuple[Event, ...]:
         return self._events
+
+
+# Shared evaluators: one function object for the process lifetime
+# instead of a fresh closure per condition (conditions are created per
+# timeout-guarded wait, one of the hottest allocation sites).
+def _all_done(total: int, done: int) -> bool:
+    return done == total
+
+
+def _any_done(total: int, done: int) -> bool:
+    return done >= 1
 
 
 class AllOf(Condition):
@@ -225,7 +244,7 @@ class AllOf(Condition):
     __slots__ = ()
 
     def __init__(self, env: "Environment", events: _t.Iterable[Event]) -> None:
-        super().__init__(env, lambda total, done: done == total, events)
+        super().__init__(env, _all_done, events)
 
 
 class AnyOf(Condition):
@@ -234,4 +253,4 @@ class AnyOf(Condition):
     __slots__ = ()
 
     def __init__(self, env: "Environment", events: _t.Iterable[Event]) -> None:
-        super().__init__(env, lambda total, done: done >= 1, events)
+        super().__init__(env, _any_done, events)

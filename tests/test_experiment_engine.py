@@ -1,0 +1,175 @@
+"""Tests for the parallel experiment engine.
+
+The acceptance bar: ``--workers 1`` and ``--workers N`` produce
+identical ExperimentResult rows, the shard cache round-trips, and
+identical shards across figures are computed once.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.engine import (
+    FAST_KWARGS,
+    Shard,
+    code_fingerprint,
+    execute_shard,
+    plan_experiment,
+    run_experiment_shard,
+    run_shards,
+    run_suite,
+)
+
+#: Reduced figure sweeps so each cell simulates a couple of instances
+#: on one cluster — parity is about determinism, not scale.
+_TINY = {
+    "fig11": {"n_instances": 2, "service_keys": ["asm", "nginx"]},
+    "fig14": {"n_instances": 2, "service_keys": ["asm", "nginx"]},
+}
+_NAMES = ["table1", "fig11", "fig14"]
+
+
+def _rows(results):
+    return {name: results[name].rows for name in results}
+
+
+class TestPlanning:
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            plan_experiment("fig99")
+
+    def test_single_shard_for_plain_experiment(self):
+        plan = plan_experiment("table1")
+        assert [s.shard_id for s in plan.shards] == ["table1"]
+
+    def test_figure_plans_one_shard_per_cell(self):
+        plan = plan_experiment("fig11", overrides=_TINY["fig11"])
+        assert len(plan.shards) == 4  # 2 services x 2 clusters
+        assert all(s.shard_id.startswith("cell/") for s in plan.shards)
+
+    def test_fig11_and_fig14_share_cell_shards(self):
+        ids_11 = {s.shard_id for s in plan_experiment("fig11").shards}
+        ids_14 = {s.shard_id for s in plan_experiment("fig14").shards}
+        assert ids_11 == ids_14  # same cells, different view (total vs wait)
+
+    def test_fig11_and_fig12_do_not_share(self):
+        ids_11 = {s.shard_id for s in plan_experiment("fig11").shards}
+        ids_12 = {s.shard_id for s in plan_experiment("fig12").shards}
+        assert ids_11.isdisjoint(ids_12)  # pre_create differs
+
+    def test_fast_kwargs_cover_only_known_experiments(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert set(FAST_KWARGS) <= set(EXPERIMENTS)
+
+
+class TestExecution:
+    def test_execute_shard_runs_and_reseeds(self):
+        shard = Shard(
+            shard_id="cell/asm/docker/pre=True/n=2",
+            func="repro.experiments.fig11_15_deployment:scale_up_cell",
+            kwargs={
+                "template_key": "asm",
+                "cluster_type": "docker",
+                "pre_create": True,
+                "n_instances": 2,
+            },
+        )
+        first = execute_shard(shard)
+        second = execute_shard(shard)
+        assert first.totals == second.totals
+
+    def test_run_experiment_shard_matches_direct_runner(self):
+        from repro.experiments import run_table1
+
+        assert run_experiment_shard("table1").rows == run_table1().rows
+
+    def test_bad_func_path_rejected(self):
+        with pytest.raises(ValueError, match="module:function"):
+            execute_shard(Shard(shard_id="x", func="no_colon_here"))
+
+
+class TestCache:
+    def test_round_trip_and_fresh(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        shard = Shard(
+            shard_id="table1",
+            func="repro.experiments.engine:run_experiment_shard",
+            kwargs={"name": "table1", "fast": True},
+        )
+        from repro.experiments.engine import SuiteStats
+
+        stats = SuiteStats(workers=1)
+        first = run_shards([shard], workers=1, cache_dir=cache, stats=stats)
+        assert stats.shards_executed == 1 and stats.cache_hits == 0
+        assert os.listdir(cache)  # something was written
+
+        stats2 = SuiteStats(workers=1)
+        second = run_shards([shard], workers=1, cache_dir=cache, stats=stats2)
+        assert stats2.cache_hits == 1 and stats2.shards_executed == 0
+        assert first["table1"].rows == second["table1"].rows
+
+        stats3 = SuiteStats(workers=1)
+        run_shards([shard], workers=1, cache_dir=cache, fresh=True, stats=stats3)
+        assert stats3.cache_hits == 0 and stats3.shards_executed == 1
+
+    def test_fingerprint_changes_invalidate(self, tmp_path):
+        # Same kwargs, different code fingerprint -> different key.
+        shard = Shard(shard_id="s", func="m:f", kwargs={"a": 1})
+        assert shard.cache_key("aaa") != shard.cache_key("bbb")
+
+    def test_fingerprint_is_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+
+
+class TestSuiteParity:
+    """workers=1 and workers=N must agree row for row."""
+
+    def test_serial_vs_parallel_rows_identical(self, tmp_path):
+        serial, s_stats = run_suite(
+            _NAMES,
+            workers=1,
+            cache_dir=str(tmp_path / "serial"),
+            overrides=_TINY,
+        )
+        parallel, p_stats = run_suite(
+            _NAMES,
+            workers=4,
+            cache_dir=str(tmp_path / "parallel"),
+            overrides=_TINY,
+        )
+        assert _rows(serial) == _rows(parallel)
+        assert s_stats.workers == 1 and p_stats.workers == 4
+
+    def test_fig11_fig14_cells_deduplicated(self, tmp_path):
+        results, stats = run_suite(
+            ["fig11", "fig14"],
+            workers=1,
+            cache_dir=str(tmp_path / "cache"),
+            overrides=_TINY,
+        )
+        # 2 services x 2 clusters planned twice -> 4 coalesced copies.
+        assert stats.deduplicated == 4
+        assert stats.shards_executed == 4
+        # fig14's wait medians never exceed fig11's totals (wait is a
+        # component of total, cell by cell).
+        for row11, row14 in zip(results["fig11"].rows, results["fig14"].rows):
+            assert row11[0] == row14[0]
+            assert all(w <= t for w, t in zip(row14[1:], row11[1:]))
+
+    def test_warm_cache_executes_nothing(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first, _ = run_suite(_NAMES, workers=1, cache_dir=cache, overrides=_TINY)
+        second, stats = run_suite(_NAMES, workers=1, cache_dir=cache, overrides=_TINY)
+        assert stats.shards_executed == 0
+        assert stats.cache_hits > 0
+        assert _rows(first) == _rows(second)
+
+    def test_no_cache_dir_disables_cache(self, tmp_path):
+        results, stats = run_suite(
+            ["table1"], workers=1, cache_dir=None, overrides=None
+        )
+        assert stats.cache_hits == 0
+        assert results["table1"].rows

@@ -33,10 +33,35 @@ class TestExperimentResult:
         assert "X: t" in text and "shape" in text
         assert result.column("v") == [1, 2]
         assert result.cell("b", "v") == 2
-        with pytest.raises(KeyError):
+
+    def test_missing_row_error_names_experiment_and_keys(self):
+        result = ExperimentResult(
+            experiment_id="Fig. 11",
+            title="t",
+            headers=["k", "v"],
+            rows=[["a", 1], ["b", 2]],
+        )
+        with pytest.raises(KeyError) as excinfo:
             result.cell("c", "v")
-        with pytest.raises(ValueError):
-            result.column("nope")
+        message = str(excinfo.value)
+        assert "Fig. 11" in message  # which experiment
+        assert "'c'" in message  # what was asked for
+        assert "'a'" in message and "'b'" in message  # what exists
+
+    def test_missing_column_error_names_experiment_and_headers(self):
+        result = ExperimentResult(
+            experiment_id="Fig. 11",
+            title="t",
+            headers=["k", "v"],
+            rows=[["a", 1]],
+        )
+        for call in (lambda: result.column("nope"), lambda: result.cell("a", "nope")):
+            with pytest.raises(KeyError) as excinfo:
+                call()
+            message = str(excinfo.value)
+            assert "Fig. 11" in message
+            assert "'nope'" in message
+            assert "'k'" in message and "'v'" in message
 
     def test_to_csv(self):
         result = ExperimentResult(

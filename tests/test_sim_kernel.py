@@ -108,6 +108,100 @@ class TestEnvironment:
         assert got == ["payload"]
 
 
+class TestScheduledCallbacks:
+    """Edge cases of the slim call_at/call_later scheduling path."""
+
+    def test_call_at_past_time_raises(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(ValueError, match="past"):
+            env.call_at(9.999, lambda: None)
+
+    def test_call_later_negative_delay_raises(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="negative delay"):
+            env.call_later(-0.001, lambda: None)
+
+    def test_call_at_now_is_allowed(self):
+        env = Environment(initial_time=5.0)
+        fired = []
+        env.call_at(5.0, fired.append, "now")
+        env.run()
+        assert fired == ["now"]
+        assert env.now == 5.0
+
+    def test_identical_time_callbacks_run_in_scheduling_order(self):
+        env = Environment()
+        order = []
+        for tag in ("a", "b", "c", "d"):
+            env.call_at(1.0, order.append, tag)
+        env.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_callbacks_interleave_with_events_by_schedule_order(self):
+        # A callback and a timeout at the same instant keep their
+        # scheduling order — the reproducibility guarantee spans both
+        # heap-entry shapes.  The timeout's slot is claimed when the
+        # process *yields* it (during the t=0 start event), so it lands
+        # after both call_at registrations made before run().
+        env = Environment()
+        order = []
+
+        def proc(env):
+            yield env.timeout(1.0)
+            order.append("event")
+
+        env.call_at(1.0, order.append, "cb-before")
+        env.process(proc(env))
+        env.call_at(1.0, order.append, "cb-after")
+        env.run()
+        assert order == ["cb-before", "cb-after", "event"]
+
+        # Scheduled *from inside* the timeline, a callback after the
+        # event's slot runs after it.
+        order.clear()
+        env.call_later(1.0, order.append, "late-cb")
+
+        def proc2(env):
+            yield env.timeout(2.0)
+            order.append("event2")
+            env.call_later(0.0, order.append, "chained")
+
+        env.process(proc2(env))
+        env.run()
+        assert order == ["late-cb", "event2", "chained"]
+
+    def test_raising_callback_surfaces_as_simulation_error(self):
+        env = Environment()
+
+        def boom():
+            raise RuntimeError("kaboom")
+
+        env.call_later(1.0, boom)
+        with pytest.raises(SimulationError, match="kaboom") as excinfo:
+            env.run()
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_raising_callback_surfaces_through_step_too(self):
+        env = Environment()
+        env.call_later(1.0, lambda: 1 / 0)
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_callback_args_passed_through(self):
+        env = Environment()
+        got = []
+        env.call_later(0.5, lambda *a: got.append(a), 1, "two", None)
+        env.run()
+        assert got == [(1, "two", None)]
+
+    def test_callback_counts_toward_events_processed(self):
+        env = Environment()
+        env.call_later(1.0, lambda: None)
+        env.call_later(2.0, lambda: None)
+        env.run()
+        assert env.events_processed == 2
+
+
 class TestEvent:
     def test_succeed_delivers_value(self):
         env = Environment()

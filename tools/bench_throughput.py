@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Wall-clock throughput benchmark for the bigFlows trace replay.
 
-Sweep mode (default) replays the trace at 1x/10x/50x scale and writes
-a JSON report (``BENCH_PR1.json``) with wall-clock seconds, simulator
-events/sec, requests/sec, and the peak flow-table size per scale::
+Sweep mode (default) replays the trace at 1x/10x/50x/100x scale and
+writes a JSON report (``BENCH_PR2.json``) with wall-clock seconds,
+simulator events/sec, requests/sec, and the peak flow-table size per
+scale, plus a separate tracemalloc-instrumented pass recording peak
+allocation (traced runs are slower, so their wall-clock never enters
+the timed rows)::
 
-    PYTHONPATH=src python tools/bench_throughput.py --output BENCH_PR1.json
+    PYTHONPATH=src python tools/bench_throughput.py --output BENCH_PR2.json
 
 Record a pre-change baseline first, then merge it so the report
 carries the speedup::
@@ -13,12 +16,14 @@ carries the speedup::
     PYTHONPATH=src python tools/bench_throughput.py \
         --label baseline --output baseline.json          # on the old tree
     PYTHONPATH=src python tools/bench_throughput.py \
-        --merge-baseline baseline.json --output BENCH_PR1.json
+        --merge-baseline baseline.json --output BENCH_PR2.json
 
 Smoke mode (``--check``) reruns the smallest recorded scale and fails
 (exit 1) if wall-clock regressed more than ``--tolerance`` (default
-2x) against the recorded numbers — the perf gate wired into CI via the
-``perf`` pytest marker (see benchmarks/perf/test_perf_smoke.py)::
+2x) against the recorded numbers, and warns when events/sec at any
+recorded scale sits more than 30% below the embedded baseline — the
+perf gate wired into CI via the ``perf`` pytest marker (see
+benchmarks/perf/test_perf_smoke.py)::
 
     PYTHONPATH=src python tools/bench_throughput.py --check
 """
@@ -43,7 +48,10 @@ from benchmarks.perf.harness import (  # noqa: E402
 )
 
 SCHEMA = "repro-bench-throughput/1"
-DEFAULT_REPORT = _REPO_ROOT / "BENCH_PR1.json"
+DEFAULT_REPORT = _REPO_ROOT / "BENCH_PR2.json"
+
+#: --check warns when events/sec drops below (1 - this) x baseline.
+EVENTS_DROP_WARN = 0.30
 
 
 def _parse_args(argv: list[str] | None) -> argparse.Namespace:
@@ -79,7 +87,13 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         "--baseline",
         type=pathlib.Path,
         default=DEFAULT_REPORT,
-        help="report --check compares against (default: BENCH_PR1.json)",
+        help=f"report --check compares against (default: {DEFAULT_REPORT.name})",
+    )
+    parser.add_argument(
+        "--alloc-scale",
+        type=int,
+        default=1,
+        help="scale for the tracemalloc allocation pass (0 disables)",
     )
     parser.add_argument(
         "--tolerance",
@@ -90,7 +104,9 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
-def _run_sweep(scales: list[int], seed: int, label: str) -> dict:
+def _run_sweep(
+    scales: list[int], seed: int, label: str, alloc_scale: int = 0
+) -> dict:
     runs = []
     for scale in scales:
         print(f"[bench] scale {scale}x ...", flush=True)
@@ -105,13 +121,35 @@ def _run_sweep(scales: list[int], seed: int, label: str) -> dict:
             f"latency_md5={result.latency_md5[:12]}",
             flush=True,
         )
-    return {
+    report = {
         "schema": SCHEMA,
         "label": label,
         "python": platform.python_version(),
         "trace_seed": seed,
         "runs": runs,
     }
+    if alloc_scale:
+        # Separate pass: tracemalloc slows the replay several-fold, so
+        # allocation numbers must never share a run with wall-clock.
+        print(f"[bench] allocation pass at {alloc_scale}x (traced) ...",
+              flush=True)
+        traced = run_replay_benchmark(
+            scale=alloc_scale, seed=seed, trace_allocations=True
+        )
+        report["allocations"] = {
+            "scale": traced.scale,
+            "peak_kib": traced.alloc_peak_kib,
+            "end_kib": traced.alloc_current_kib,
+            "per_request_peak_bytes": round(
+                traced.alloc_peak_kib * 1024 / traced.n_requests, 1
+            ),
+        }
+        print(
+            f"[bench]   peak={traced.alloc_peak_kib:.0f}KiB "
+            f"({report['allocations']['per_request_peak_bytes']:.0f}B/request)",
+            flush=True,
+        )
+    return report
 
 
 def _merge_baseline(report: dict, baseline_path: pathlib.Path) -> None:
@@ -133,6 +171,28 @@ def _merge_baseline(report: dict, baseline_path: pathlib.Path) -> None:
         )
     report["speedup_vs_baseline"] = speedups
     report["latency_identical_to_baseline"] = identical
+    for line in _events_drop_warnings(report["runs"], baseline["runs"]):
+        print(line, file=sys.stderr)
+
+
+def _events_drop_warnings(runs: list[dict], baseline_runs: list[dict]) -> list[str]:
+    """Warning lines for scales whose events/sec fell >30% vs baseline."""
+    base_by_scale = {run["scale"]: run for run in baseline_runs}
+    warnings = []
+    for run in runs:
+        base = base_by_scale.get(run["scale"])
+        if base is None:
+            continue
+        now, then = run.get("events_per_sec"), base.get("events_per_sec")
+        if not now or not then:
+            continue
+        if now < then * (1.0 - EVENTS_DROP_WARN):
+            warnings.append(
+                f"[bench] WARNING: events/sec at {run['scale']}x dropped "
+                f"{(1 - now / then) * 100:.0f}% vs baseline "
+                f"({now:.0f} vs {then:.0f})"
+            )
+    return warnings
 
 
 def _check(args: argparse.Namespace) -> int:
@@ -153,6 +213,18 @@ def _check(args: argparse.Namespace) -> int:
     limit = reference["wall_s"] * args.tolerance
     status = "ok" if result.wall_s <= limit else "REGRESSED"
     print(f"[bench] wall={result.wall_s:.2f}s limit={limit:.2f}s -> {status}")
+    # events/sec drift: the live rerun vs its recorded row, plus every
+    # recorded scale vs the report's embedded baseline (the other
+    # scales aren't rerun here, but their recorded numbers still tell
+    # us whether the report itself was captured in a degraded state).
+    live = {"scale": scale, "events_per_sec": result.events_per_sec}
+    for line in _events_drop_warnings([live], runs):
+        print(line, file=sys.stderr)
+    if "baseline" in recorded:
+        for line in _events_drop_warnings(
+            recorded["runs"], recorded["baseline"]["runs"]
+        ):
+            print(line, file=sys.stderr)
     if result.latency_md5 != reference["latency_md5"]:
         print("[bench] WARNING: latency fingerprint drifted from the "
               f"recorded baseline ({result.latency_md5[:12]} != "
@@ -168,7 +240,7 @@ def main(argv: list[str] | None = None) -> int:
         return _check(args)
 
     scales = [int(s) for s in str(args.scales).split(",") if s.strip()]
-    report = _run_sweep(scales, args.seed, args.label)
+    report = _run_sweep(scales, args.seed, args.label, args.alloc_scale)
     if args.merge_baseline is not None:
         _merge_baseline(report, args.merge_baseline)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
