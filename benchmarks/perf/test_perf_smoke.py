@@ -10,9 +10,9 @@ Equivalent CLI form (what CI wires in)::
     PYTHONPATH=src python tools/bench_throughput.py --check
 
 Both reuse the same check: rerun the smallest scale recorded in the
-newest benchmark report (``BENCH_PR2.json``, else ``BENCH_PR1.json``)
-and fail if wall-clock regressed beyond 2x or the latency fingerprint
-(simulated-time results) drifted.
+newest benchmark report (``BENCH_PR3.json``, else ``BENCH_PR2.json``,
+else ``BENCH_PR1.json``) and fail if wall-clock regressed beyond 2x or
+the latency fingerprint (simulated-time results) drifted.
 """
 
 from __future__ import annotations
@@ -26,8 +26,16 @@ from benchmarks.perf.harness import run_replay_benchmark
 
 _ROOT = pathlib.Path(__file__).resolve().parents[2]
 _REPORT = next(
-    (p for p in (_ROOT / "BENCH_PR2.json", _ROOT / "BENCH_PR1.json") if p.exists()),
-    _ROOT / "BENCH_PR2.json",
+    (
+        p
+        for p in (
+            _ROOT / "BENCH_PR3.json",
+            _ROOT / "BENCH_PR2.json",
+            _ROOT / "BENCH_PR1.json",
+        )
+        if p.exists()
+    ),
+    _ROOT / "BENCH_PR3.json",
 )
 
 #: Wall-clock head-room over the recorded baseline before we call it a

@@ -53,7 +53,13 @@ class FlowMemory:
         self.idle_timeout_s = float(idle_timeout_s)
         self.on_expire = on_expire
         self._flows: dict[tuple[IPv4Address, str], MemorizedFlow] = {}
-        env.process(self._sweeper(sweep_interval_s), name="flowmemory-sweep")
+        # Sweep via a self-rechaining slim callback instead of a
+        # generator process: one heap entry per tick, no suspended
+        # generator frame.  The tick times accumulate by repeated float
+        # addition exactly as the old ``yield timeout(interval)`` loop
+        # did, so expiry (and scale-down) instants are unchanged.
+        self._sweep_interval_s = float(sweep_interval_s)
+        env.call_later(self._sweep_interval_s, self._sweep_tick)
 
     # -- core operations ---------------------------------------------------
 
@@ -127,19 +133,21 @@ class FlowMemory:
 
     # -- expiry ---------------------------------------------------------------------
 
-    def _sweeper(self, interval: float):
-        while True:
-            yield self.env.timeout(interval)
-            now = self.env.now
-            expired = [
-                flow
-                for flow in self._flows.values()
-                if now - flow.last_used >= self.idle_timeout_s
-            ]
+    def _sweep_tick(self) -> None:
+        now = self.env.now
+        expired = [
+            flow
+            for flow in self._flows.values()
+            if now - flow.last_used >= self.idle_timeout_s
+        ]
+        for flow in expired:
+            self._flows.pop(flow.key, None)
+        # Callbacks run after the removal pass so service_in_use
+        # reflects the post-expiry state.
+        if self.on_expire is not None:
             for flow in expired:
-                self._flows.pop(flow.key, None)
-            # Callbacks run after the removal pass so service_in_use
-            # reflects the post-expiry state.
-            if self.on_expire is not None:
-                for flow in expired:
-                    self.on_expire(flow)
+                self.on_expire(flow)
+        # Re-arm after the pass, as the generator loop did (its next
+        # ``timeout(interval)`` was created on resume, after the
+        # callbacks ran), so heap insertion order is unchanged too.
+        self.env.call_later(self._sweep_interval_s, self._sweep_tick)

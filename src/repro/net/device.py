@@ -33,6 +33,11 @@ class NetworkInterface:
         self.ip = ip
         self.name = name
         self.endpoint: "LinkEndpoint | None" = None
+        #: OpenFlow port number, stamped by ``Switch.add_port``; stays
+        #: ``None`` on host interfaces.  Kept on the interface so the
+        #: switch receive path reads an attribute instead of doing a
+        #: dict lookup per packet.
+        self.port_no: int | None = None
 
     @property
     def attached(self) -> bool:

@@ -31,7 +31,10 @@ from repro.net.packet import (
     TCPFlags,
     TCPSegment,
 )
+from repro.net.route_cache import Recording
 from repro.sim import Environment, Store
+from repro.sim.events import guard_timeout
+from repro.sim.process import Process
 
 _conn_ids = itertools.count(1)
 
@@ -96,7 +99,27 @@ class Application(_t.Protocol):
 
 
 class Connection:
-    """One endpoint of an established TCP connection."""
+    """One endpoint of an established TCP connection.
+
+    Slotted, with a lazily created inbound queue: connections are
+    allocated twice per request (client and server side), and the
+    server side of the HTTP exchange never reads ``incoming`` — its
+    requests dispatch straight to the application handler — so the
+    Store (and its three internal lists) is only built on first use.
+    """
+
+    __slots__ = (
+        "host",
+        "env",
+        "conn_id",
+        "local_ip",
+        "local_port",
+        "remote_ip",
+        "remote_port",
+        "_incoming",
+        "established",
+        "last_seen_remote_ip",
+    )
 
     def __init__(
         self,
@@ -116,12 +139,20 @@ class Connection:
         self.local_port = local_port
         self.remote_ip = remote_ip
         self.remote_port = remote_port
-        self.incoming: Store = Store(host.env)
+        self._incoming: Store | None = None
         self.established = True
         #: Source IP of the most recent packet received — tests use it
         #: to assert transparency (the client must only ever see the
         #: service's cloud address).
         self.last_seen_remote_ip: IPv4Address | None = None
+
+    @property
+    def incoming(self) -> Store:
+        """Inbound payload queue, created on first access."""
+        store = self._incoming
+        if store is None:
+            store = self._incoming = Store(self.env)
+        return store
 
     def send_payload(self, payload: _t.Any, payload_bytes: int) -> None:
         """Transmit an application payload burst to the peer."""
@@ -146,14 +177,19 @@ class Connection:
         if timeout is None:
             item = yield get_ev
         else:
-            deadline = self.env.timeout(timeout)
-            yield get_ev | deadline
-            if not get_ev.triggered:
-                get_ev.cancel()
-                raise ConnectionTimeout(
-                    f"no data on connection {self.conn_id} within {timeout}s"
-                )
-            item = get_ev.value
+            deadline = self.env.deadline(timeout)
+            guard_timeout(
+                deadline,
+                get_ev,
+                ConnectionTimeout,
+                "no data on connection ",
+                self.conn_id,
+                " within ",
+                timeout,
+                "s",
+            )
+            item = yield get_ev
+            deadline.cancel()
         if isinstance(item, ConnectionReset):
             raise item
         return item
@@ -162,6 +198,11 @@ class Connection:
         """Tear down this endpoint (no FIN exchange is modelled)."""
         self.established = False
         self.host._connections.pop(self.conn_id, None)
+        route = self.host._routes.pop(self.conn_id, None)
+        if route is not None:
+            # Already popped; invalidate() just flags it dead and
+            # breaks the route → hop → route cycle for refcounting.
+            route.invalidate()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -191,6 +232,10 @@ class Host(NetDevice):
         #: Readiness subscriptions: port -> events fired on open_port.
         self._port_waiters: dict[int, list[_t.Any]] = {}
         self._next_ephemeral = EPHEMERAL_BASE
+        #: Established-flow route cache: conn_id -> memoized traversal
+        #: (see ``repro.net.route_cache``).  Entries leave on
+        #: connection close or epoch-guard invalidation.
+        self._routes: dict[int, _t.Any] = {}
 
     # -- listener management ------------------------------------------------
 
@@ -277,13 +322,21 @@ class Host(NetDevice):
             if timeout is None:
                 packet = yield reply_ev
             else:
-                deadline = self.env.timeout(timeout)
-                yield reply_ev | deadline
-                if not reply_ev.triggered:
-                    raise ConnectionTimeout(
-                        f"connect to {dst_ip}:{dst_port} timed out after {timeout}s"
-                    )
-                packet = reply_ev.value
+                deadline = self.env.deadline(timeout)
+                guard_timeout(
+                    deadline,
+                    reply_ev,
+                    ConnectionTimeout,
+                    "connect to ",
+                    dst_ip,
+                    ":",
+                    dst_port,
+                    " timed out after ",
+                    timeout,
+                    "s",
+                )
+                packet = yield reply_ev
+                deadline.cancel()
         finally:
             self._pending.pop(conn_id, None)
 
@@ -346,6 +399,13 @@ class Host(NetDevice):
     # -- packet processing -------------------------------------------------------
 
     def receive(self, packet: Packet, iface: NetworkInterface) -> None:
+        rec = packet._fp_rec
+        if rec is not None:
+            # The packet completed a recordable traversal: install the
+            # route into the *sending* host's cache so the next packet
+            # of the connection replays it.
+            packet._fp_rec = None
+            rec.finalize()
         seg = packet.tcp
         flag_bits = seg.flags.value
 
@@ -361,7 +421,9 @@ class Host(NetDevice):
                 return
             conn = self._connections.get(seg.conn_id)
             if conn is not None:
-                conn.incoming.put(ConnectionReset("peer reset the connection"))
+                conn.incoming.put_nowait(
+                    ConnectionReset("peer reset the connection")
+                )
             return
 
         if flag_bits & _SYN_ACK_BITS == _SYN_ACK_BITS:
@@ -384,7 +446,7 @@ class Host(NetDevice):
             if isinstance(seg.payload, HTTPRequest):
                 self._serve_request(conn, seg.payload)
             else:
-                conn.incoming.put(seg.payload)
+                conn.incoming.put_nowait(seg.payload)
 
     def _handle_syn(self, packet: Packet) -> None:
         seg = packet.tcp
@@ -440,10 +502,12 @@ class Host(NetDevice):
                 src_ip=conn.local_ip,
             )
             return
-        self.env.process(
-            self._run_handler(listener.app, conn, request),
-            name=f"{self.name}:handler:{conn.conn_id}",
-        )
+        # Hot start (and no per-request name string): the handler's
+        # first segment runs synchronously here — where the old start
+        # event would have run it within the same timestep anyway —
+        # saving a heap entry per served request.
+        Process(self.env, self._run_handler(listener.app, conn, request),
+                hot=True)
 
     def _run_handler(self, app: "Application", conn: Connection, request: HTTPRequest):
         response = yield from app.handle(request)
@@ -458,13 +522,29 @@ class Host(NetDevice):
         segment: TCPSegment,
         src_ip: IPv4Address | None = None,
     ) -> None:
+        ip_src = src_ip if src_ip is not None else self.ip
         packet = Packet(
             eth_src=self.iface.mac,
             eth_dst=_BROADCAST_MAC,
-            ip_src=src_ip if src_ip is not None else self.ip,
+            ip_src=ip_src,
             ip_dst=dst_ip,
             tcp=segment,
         )
+        conn_id = segment.conn_id
+        if conn_id:
+            # Established-flow fast path: replay the memoized route if
+            # one exists for this connection *and* it was recorded for
+            # the same header tuple (rewrites along the path mean the
+            # tuple, not just the connection, identifies the route);
+            # otherwise start a fresh recording.
+            mk = (ip_src, dst_ip, segment.src_port, segment.dst_port)
+            route = self._routes.get(conn_id)
+            if route is not None and route.mk == mk:
+                packet._mk = route.mk
+                packet._fp_next = route.first
+            else:
+                packet._mk = mk
+                packet._fp_rec = Recording(self._routes, conn_id, mk)
         self.iface.send(packet)
 
     def _allocate_port(self) -> int:

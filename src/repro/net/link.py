@@ -10,9 +10,11 @@ from __future__ import annotations
 
 import typing as _t
 from collections import deque
+from heapq import heappush
 
 from repro.net.packet import HEADER_BYTES
 from repro.sim import Environment
+from repro.sim.events import NORMAL
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.device import NetworkInterface
@@ -38,9 +40,45 @@ class LinkEndpoint:
     tried and rejected: it moves the delivery's heap sequence number
     from serialization end to transmit time, which reorders
     same-timestamp events and breaks byte-identical replay.)
+
+    Heap entries are pushed inline (env internals poked directly, like
+    ``events.py`` does) and the per-hop callbacks are pre-bound: at two
+    pushes per packet-hop this is one of the two hottest scheduling
+    sites in the simulator.  The link's bandwidth/latency/down state is
+    mirrored into endpoint slots (refreshed by the Link property
+    setters) so the serialization expression reads locals, not a
+    property chain; the float expression itself is unchanged, keeping
+    the exact ``wire_size * 8 / bandwidth`` rounding of the replay
+    fingerprint.
+
+    Fast-path dispatch: when a packet carries a memoized next hop
+    recorded for *this* endpoint (see ``repro.net.route_cache``), the
+    end-of-serialization callback fuses the propagation delay and the
+    switch's lookup delay into a single scheduled ``_fast_hop`` call,
+    skipping the delivery callback and ``switch.receive`` entirely.
+    The fire time is composed as ``(now + latency) + lookup_delay`` —
+    the same two float additions the unfused path performs — so
+    delivery-chain timestamps stay byte-identical.  The fusion is
+    declined (falling back to the plain delivery callback) when the
+    link is down or its epoch moved, so parameter changes invalidate
+    the route and re-enter the slow path.
     """
 
-    __slots__ = ("link", "iface", "peer", "_pending", "_busy", "_call_later")
+    __slots__ = (
+        "link",
+        "iface",
+        "peer",
+        "_pending",
+        "_busy",
+        "_env",
+        "_bw",
+        "_lat",
+        "_down",
+        "_recv_dev",
+        "_recv_iface",
+        "_serialized_cb",
+        "_deliver_cb",
+    )
 
     def __init__(self, link: "Link", iface: "NetworkInterface") -> None:
         self.link = link
@@ -48,21 +86,38 @@ class LinkEndpoint:
         self.peer: "LinkEndpoint | None" = None
         self._pending: deque["Packet"] = deque()
         self._busy = False
-        # Hot-path binding, hoisted once: the env.call_later attribute
-        # chain is otherwise re-resolved twice per packet-hop.
-        self._call_later = link.env.call_later
+        self._env = link.env
+        # Hot-parameter mirror, kept in sync by the Link setters.
+        self._bw = link._bandwidth_bps
+        self._lat = link._latency_s
+        self._down = link._down
+        # Delivery target (peer device + interface), bound by
+        # Link.__init__ once both endpoints exist.  The device, not its
+        # bound ``receive``, is cached: tests monkey-patch ``receive``
+        # on device instances and must keep seeing deliveries.
+        self._recv_dev = None
+        self._recv_iface: "NetworkInterface | None" = None
+        self._serialized_cb = self._serialized
+        self._deliver_cb = self._deliver
 
     def _serialize(self, packet: "Packet") -> None:
-        # Serialization at line rate, then propagation.  Bound method +
-        # operand on the heap entry: no per-packet closure allocation.
+        # Serialization at line rate, then propagation.  Pre-bound
+        # method + operand on the heap entry: no per-packet closure.
         # The delay keeps the exact ``wire_size * 8 / bandwidth``
         # association (a precomputed 8/bandwidth factor would change
         # the float rounding and with it the replay fingerprint); the
         # wire size is inlined to skip the property descriptor.
-        self._call_later(
-            (HEADER_BYTES + packet.tcp.payload_bytes) * 8 / self.link.bandwidth_bps,
-            self._serialized,
-            packet,
+        env = self._env
+        heappush(
+            env._queue,
+            (
+                env._now
+                + (HEADER_BYTES + packet.tcp.payload_bytes) * 8 / self._bw,
+                NORMAL,
+                next(env._seq),
+                self._serialized_cb,
+                (packet,),
+            ),
         )
 
     def transmit(self, packet: "Packet") -> None:
@@ -74,20 +129,62 @@ class LinkEndpoint:
             self._serialize(packet)
 
     def _serialized(self, packet: "Packet") -> None:
-        self._call_later(self.link.latency_s, self._deliver, packet)
+        env = self._env
+        hop = packet._fp_next
+        if (
+            hop is not None
+            and hop.src_ep is self
+            and not self._down
+            and hop.in_epoch == self.link.epoch
+        ):
+            # Fused fast hop: one event for propagation + switch lookup.
+            # ``(now + lat) + lookup`` reproduces the unfused float sums.
+            heappush(
+                env._queue,
+                (
+                    (env._now + self._lat) + hop.switch.lookup_delay_s,
+                    NORMAL,
+                    next(env._seq),
+                    hop.fire,
+                    (packet, hop),
+                ),
+            )
+        else:
+            if hop is not None:
+                # Link state moved under the route: discard it so the
+                # next packet of the flow re-records on the slow path.
+                hop.route.invalidate()
+                packet._fp_next = None
+            heappush(
+                env._queue,
+                (
+                    env._now + self._lat,
+                    NORMAL,
+                    next(env._seq),
+                    self._deliver_cb,
+                    (packet,),
+                ),
+            )
         if self._pending:
             self._serialize(self._pending.popleft())
         else:
             self._busy = False
 
     def _deliver(self, packet: "Packet") -> None:
-        peer = self.peer
-        if peer is not None and not self.link.down:
-            peer.iface.deliver(packet)
+        if self._recv_dev is not None and not self._down:
+            self._recv_dev.receive(packet, self._recv_iface)
 
 
 class Link:
-    """A bidirectional point-to-point link between two interfaces."""
+    """A bidirectional point-to-point link between two interfaces.
+
+    ``bandwidth_bps`` / ``latency_s`` / ``down`` are epoch-guarded
+    properties: any change bumps :attr:`epoch`, which invalidates every
+    memoized route crossing the link (cached routes store the epoch
+    they were recorded under and fall back to the slow path on
+    mismatch).  The setters also refresh the per-endpoint parameter
+    mirrors the hot transmit path reads.
+    """
 
     def __init__(
         self,
@@ -102,11 +199,11 @@ class Link:
         if latency_s < 0:
             raise ValueError(f"latency must be >= 0, got {latency_s}")
         self.env = env
-        self.bandwidth_bps = float(bandwidth_bps)
-        self.latency_s = float(latency_s)
-        #: Administrative state; a downed link silently drops packets,
-        #: used by failure-injection tests.
-        self.down = False
+        self._bandwidth_bps = float(bandwidth_bps)
+        self._latency_s = float(latency_s)
+        self._down = False
+        #: Parameter-change counter consulted by the route cache.
+        self.epoch = 0
 
         self.end_a = LinkEndpoint(self, a)
         self.end_b = LinkEndpoint(self, b)
@@ -114,9 +211,54 @@ class Link:
         self.end_b.peer = self.end_a
         a.endpoint = self.end_a
         b.endpoint = self.end_b
+        for end in (self.end_a, self.end_b):
+            peer = end.peer
+            assert peer is not None
+            end._recv_dev = peer.iface.device
+            end._recv_iface = peer.iface
+
+    def _sync_endpoints(self) -> None:
+        self.epoch += 1
+        for end in (self.end_a, self.end_b):
+            end._bw = self._bandwidth_bps
+            end._lat = self._latency_s
+            end._down = self._down
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return self._bandwidth_bps
+
+    @bandwidth_bps.setter
+    def bandwidth_bps(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"bandwidth must be positive, got {value}")
+        self._bandwidth_bps = float(value)
+        self._sync_endpoints()
+
+    @property
+    def latency_s(self) -> float:
+        return self._latency_s
+
+    @latency_s.setter
+    def latency_s(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"latency must be >= 0, got {value}")
+        self._latency_s = float(value)
+        self._sync_endpoints()
+
+    @property
+    def down(self) -> bool:
+        """Administrative state; a downed link silently drops packets,
+        used by failure-injection tests."""
+        return self._down
+
+    @down.setter
+    def down(self, value: bool) -> None:
+        self._down = bool(value)
+        self._sync_endpoints()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<Link {self.end_a.iface.device.name}<->{self.end_b.iface.device.name} "
-            f"{self.bandwidth_bps / 1e9:g}Gbps {self.latency_s * 1e6:g}us>"
+            f"{self._bandwidth_bps / 1e9:g}Gbps {self._latency_s * 1e6:g}us>"
         )

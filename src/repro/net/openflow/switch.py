@@ -5,6 +5,7 @@ from __future__ import annotations
 import itertools
 import typing as _t
 from collections import deque
+from heapq import heappush
 
 from repro.net.device import NetDevice, NetworkInterface
 from repro.net.openflow.actions import Action, Drop, Output, SetField, ToController
@@ -21,7 +22,9 @@ from repro.net.openflow.messages import (
 )
 from repro.net.openflow.table import FlowEntry, FlowTable, REASON_DELETE
 from repro.net.packet import Packet
+from repro.net.route_cache import RouteHop, compile_rewrites
 from repro.sim import Environment
+from repro.sim.events import NORMAL
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sdnfw.app import SDNApp
@@ -147,6 +150,7 @@ class OpenFlowSwitch(NetDevice):
         """Create a new switch port; returns (port_no, interface)."""
         port_no = next(self._next_port)
         iface = self.add_interface(mac, ip=None, name=f"port{port_no}")
+        iface.port_no = port_no
         self._ports[port_no] = iface
         self._port_numbers[iface] = port_no
         return port_no, iface
@@ -158,22 +162,145 @@ class OpenFlowSwitch(NetDevice):
 
     def receive(self, packet: Packet, iface: NetworkInterface) -> None:
         self.stats["rx"] += 1
-        in_port = self._port_numbers[iface]
+        # A packet landing here on the delivery path may still carry a
+        # fast-path hop whose fusion was declined (link epoch moved or
+        # link down at serialization end): drop the stale pointer so
+        # the slow path owns the packet from here on.
+        if packet._fp_next is not None:
+            packet._fp_next.route.invalidate()
+            packet._fp_next = None
         # One slim callback per packet instead of a full process: the
         # pipeline body runs after the lookup delay and never blocks.
         # Operands travel on the heap entry itself — no closure.
-        self.env.call_later(
-            self.lookup_delay_s, self._pipeline, packet, in_port
+        env = self.env
+        heappush(
+            env._queue,
+            (
+                env._now + self.lookup_delay_s,
+                NORMAL,
+                next(env._seq),
+                self._pipeline,
+                (packet, iface.port_no),
+            ),
         )
 
     def _pipeline(self, packet: Packet, in_port: int) -> None:
         entry = self.table.lookup(packet)
         if entry is None:
             self.stats["miss"] += 1
+            packet._fp_rec = None  # a punted traversal is not replayable
             self._punt(packet, in_port, reason="no_match")
             return
-        entry.touch(self.env.now)
-        self._apply_actions(entry.actions, packet, in_port)
+        entry.last_used = self.env._now
+        entry.packet_count += 1
+        if packet._fp_rec is not None:
+            self._record_hop(entry, packet, in_port)
+        else:
+            self._apply_actions(entry.actions, packet, in_port)
+
+    def _record_hop(
+        self, entry: FlowEntry, packet: Packet, in_port: int
+    ) -> None:
+        """Slow-path hop with recording: apply ``entry``'s actions and
+        append a replayable :class:`RouteHop` to the packet's in-flight
+        recording.  Any action shape the replayer can't reproduce
+        exactly aborts the recording and falls back wholesale."""
+        compiled = entry._compiled
+        if compiled is False:
+            compiled = entry._compiled = compile_rewrites(entry.actions)
+        if compiled is None:
+            packet._fp_rec = None
+            self._apply_actions(entry.actions, packet, in_port)
+            return
+        rewrites, out_port = compiled
+        # Epoch snapshots *at lookup time*: equality at replay time
+        # proves the memoized lookup/egress still match a fresh run.
+        table_epoch = self.table.epoch
+        in_ep = self._ports[in_port].endpoint
+        src_ep = in_ep.peer if in_ep is not None else None
+        out_iface = self._ports.get(out_port)
+        if src_ep is None or out_iface is None or not out_iface.attached:
+            # Not a replayable traversal (packet-out injection or a
+            # drop on output); run the plain slow path for this hop.
+            packet._fp_rec = None
+            self._apply_actions(entry.actions, packet, in_port)
+            return
+        for action in entry.actions[:-1]:
+            action.apply(packet)
+        hop = RouteHop(
+            self,
+            in_port,
+            entry,
+            table_epoch,
+            src_ep,
+            src_ep.link.epoch,
+            out_iface,
+            rewrites,
+            packet.match_values(),
+        )
+        packet._fp_rec.hops.append(hop)
+        self.stats["tx"] += 1
+        out_iface.send(packet)
+
+    def _fast_hop(self, packet: Packet, hop: RouteHop) -> None:
+        """Replay one memoized hop (fused propagation + lookup delay).
+
+        Runs at the exact simulated instant the slow path's
+        ``_pipeline`` would have: epoch equality then proves the
+        memoized lookup result is what a fresh lookup would return, so
+        the hop reproduces the slow path's side effects — rx/tx
+        counters, the entry's ``last_used``/``packet_count`` refresh,
+        header rewrites, match-key cache — without running it.
+
+        Epoch inequality only means *something* in the table moved, not
+        that this flow's lookup changed — and installs for unrelated
+        flows are constant background traffic, so discarding on every
+        bump would thrash the cache.  A mismatch therefore triggers a
+        one-shot revalidation: one fresh (pure) indexed lookup at
+        exactly the instant the slow path would have performed it.  The
+        same entry back proves the replay is still what the slow path
+        would do (entry action programs are immutable), and the hop's
+        epoch snapshot moves forward; a different result (or a dead
+        egress-link epoch) kills the route and the packet re-enters
+        ``_pipeline`` here and now — byte-identical to never having
+        fused.
+        """
+        self.stats["rx"] += 1
+        table = self.table
+        if table.epoch != hop.table_epoch:
+            if table.lookup(packet) is hop.entry:
+                hop.table_epoch = table.epoch
+            else:
+                hop.route.invalidate()
+                packet._fp_next = None
+                self._pipeline(packet, hop.in_port)
+                return
+        if hop.out_link.epoch != hop.out_epoch:
+            hop.route.invalidate()
+            packet._fp_next = None
+            self._pipeline(packet, hop.in_port)
+            return
+        entry = hop.entry
+        entry.last_used = self.env._now
+        entry.packet_count += 1
+        tcp = packet.tcp
+        for slot, value in hop.rewrites:
+            if slot == 1:
+                packet.ip_dst = value
+            elif slot == 3:
+                tcp.dst_port = value
+            elif slot == 0:
+                packet.ip_src = value
+            elif slot == 2:
+                tcp.src_port = value
+            elif slot == 4:
+                packet.eth_src = value
+            else:
+                packet.eth_dst = value
+        packet._mk = hop.mk_after
+        self.stats["tx"] += 1
+        packet._fp_next = hop.next
+        hop.out_ep.transmit(packet)
 
     def _apply_actions(
         self, actions: _t.Sequence[Action], packet: Packet, in_port: int

@@ -81,6 +81,7 @@ class FlowEntry:
         "last_used",
         "packet_count",
         "_order",
+        "_compiled",
     )
 
     def __init__(
@@ -108,6 +109,11 @@ class FlowEntry:
         self.packet_count: int = 0
         #: Table-assigned install order (tie-break within a priority).
         self._order: int = 0
+        #: Fast-path compilation cache: ``False`` until first asked,
+        #: then ``compile_rewrites(actions)``'s result.  Valid because
+        #: an entry's action program is never mutated after install —
+        #: FlowMod modify is delete + add of a *new* entry here.
+        self._compiled: _t.Any = False
 
     def touch(self, now: float) -> None:
         self.last_used = now
@@ -169,6 +175,13 @@ class FlowTable:
 
     def __init__(self) -> None:
         self._entries: list[FlowEntry] = []
+        #: Mutation counter: bumped on every install and every removal
+        #: (FlowMod delete, idle/hard-timeout sweep, direct remove).
+        #: The data plane's route cache records the epoch a traversal
+        #: was recorded under; equality at replay time proves the table
+        #: has not changed since, so the memoized lookup result is
+        #: still exactly what a fresh lookup would return.
+        self.epoch = 0
         # shape -> {field-values key -> sorted [(-prio, order, entry)]}
         self._index: dict[tuple[str, ...], dict[_t.Any, list]] = {}
         # Flat lookup plan: one (key-getter, buckets) pair per live
@@ -192,6 +205,7 @@ class FlowTable:
         return iter(self._entries)
 
     def install(self, entry: FlowEntry, now: float) -> None:
+        self.epoch += 1
         entry.installed_at = now
         entry.last_used = now
         entry._order = next(self._order)
@@ -227,6 +241,7 @@ class FlowTable:
             self._entries.remove(entry)
         except ValueError:
             return False
+        self.epoch += 1
         self._index_discard(entry)
         return True
 
@@ -291,6 +306,7 @@ class FlowTable:
     def _bulk_remove(self, removed: list[FlowEntry]) -> None:
         if not removed:
             return
+        self.epoch += 1
         if len(removed) == 1:
             self._entries.remove(removed[0])
         else:

@@ -2,16 +2,50 @@
 
 from __future__ import annotations
 
+import gc
 import heapq
 import typing as _t
 from itertools import count
 
-from repro.sim.events import Event, NORMAL, Timeout
+from repro.sim.events import Event, NORMAL, PENDING, Timeout
 from repro.sim.process import Process
+
+#: Guard delays at or above this many seconds go to the deadline
+#: side-heap (cancellable, off the main heap); shorter ones stay plain
+#: Timeouts with exact legacy scheduling.  The split keeps short,
+#: frequently-*firing* test timeouts byte-identical while the long
+#: almost-never-firing request guards (120 s by default) stop
+#: occupying the main heap — at 50x replay tens of thousands of live
+#: guard timeouts otherwise sit in the heap at once, and their depth
+#: taxes every push and pop of the run.
+DEADLINE_SIDE_HEAP_MIN_S = 30.0
 
 
 class SimulationError(RuntimeError):
     """Raised when the event loop encounters an unrecoverable state."""
+
+
+class Deadline(Event):
+    """A cancellable guard timeout living in the deadline side-heap.
+
+    Unlike :class:`Timeout`, creation pushes nothing onto the main
+    event heap: the environment tracks the deadline in a side-heap and
+    keeps a single armed wakeup for the earliest one.  ``cancel()``
+    (the normal outcome — the guarded operation won the race) simply
+    flags the entry; it is purged when it surfaces at the side-heap
+    top.  A deadline that does fire succeeds through the regular event
+    path at its exact scheduled time.
+    """
+
+    __slots__ = ("_dvalue", "cancelled")
+
+    def __init__(self, env: "Environment", value: _t.Any = None) -> None:
+        super().__init__(env)
+        self._dvalue = value
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
 
 
 class EmptySchedule(Exception):
@@ -46,6 +80,14 @@ class Environment:
         #: Total heap entries processed since construction — the
         #: denominator of the events/sec throughput metric.
         self.events_processed = 0
+        # Deadline side-heap: (time, local_seq, Deadline) entries with
+        # their own tie-break counter, plus a single armed main-heap
+        # wakeup for the earliest entry (generation-tagged so a
+        # superseded wakeup turns into a no-op).
+        self._deadlines: list[tuple] = []
+        self._deadline_seq = count()
+        self._deadline_gen = 0
+        self._deadline_wake_at: float | None = None
 
     # -- inspection ------------------------------------------------------
 
@@ -75,6 +117,50 @@ class Environment:
     def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
         """Create an event firing after ``delay`` simulated seconds."""
         return Timeout(self, delay, value)
+
+    def deadline(self, delay: float, value: _t.Any = None) -> Event:
+        """A guard timeout: like :meth:`timeout`, but cancellable.
+
+        Use for deadlines that usually do *not* fire (request guards,
+        watchdogs): call ``.cancel()`` on the returned event once the
+        guarded operation wins the race and the deadline stops costing
+        anything.  Long delays are parked in a side-heap so they never
+        inflate the main event heap; short ones fall back to a plain
+        :class:`Timeout` (whose base-class ``cancel()`` is a no-op)
+        with exact legacy scheduling — see ``DEADLINE_SIDE_HEAP_MIN_S``.
+        """
+        if delay < DEADLINE_SIDE_HEAP_MIN_S:
+            return Timeout(self, delay, value)
+        event = Deadline(self, value)
+        at = self._now + delay
+        heapq.heappush(
+            self._deadlines, (at, next(self._deadline_seq), event)
+        )
+        wake = self._deadline_wake_at
+        if wake is None or at < wake:
+            self._deadline_wake_at = at
+            self._deadline_gen += 1
+            self.call_at(at, self._deadline_fire, self._deadline_gen)
+        return event
+
+    def _deadline_fire(self, gen: int) -> None:
+        if gen != self._deadline_gen:
+            return  # superseded by an earlier arming
+        self._deadline_wake_at = None
+        heap = self._deadlines
+        now = self._now
+        pop = heapq.heappop
+        while heap and heap[0][0] <= now:
+            event = pop(heap)[2]
+            if not event.cancelled and event._value is PENDING:
+                event.succeed(event._dvalue)
+        while heap and heap[0][2].cancelled:
+            pop(heap)
+        if heap:
+            at = heap[0][0]
+            self._deadline_wake_at = at
+            self._deadline_gen += 1
+            self.call_at(at, self._deadline_fire, self._deadline_gen)
 
     def process(
         self,
@@ -248,9 +334,21 @@ class Environment:
         # once: at millions of events per run, the per-event method
         # call, attribute reloads, and counter writes are measurable.
         # Any semantic change here must be mirrored in step().
+        #
+        # Cyclic gc is the other per-event tax: the default gen-0
+        # threshold (700) makes the collector scan the young generation
+        # tens of thousands of times per run, yet nearly all per-event
+        # garbage (heap tuples, events, segments) dies by refcount and
+        # the few real cycles are broken explicitly at disposal (see
+        # route_cache.Route.invalidate).  Raising the threshold for the
+        # duration of the loop removes ~15% of wall-clock; the old
+        # thresholds are restored on every exit path so code outside
+        # run() observes stock collector behaviour.
         queue = self._queue
         pop = heapq.heappop
         events = self.events_processed
+        gc_thresholds = gc.get_threshold()
+        gc.set_threshold(1_000_000, *gc_thresholds[1:])
         try:
             while True:
                 try:
@@ -294,6 +392,7 @@ class Environment:
             # One write on exit instead of one per event; covers every
             # path out of the loop, including escaping exceptions.
             self.events_processed = events
+            gc.set_threshold(*gc_thresholds)
 
     @staticmethod
     def _stop_callback(event: Event) -> None:

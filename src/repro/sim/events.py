@@ -95,6 +95,17 @@ class Event:
         """Mark a failed event as handled."""
         self._defused = True
 
+    def cancel(self) -> None:
+        """Withdraw interest in this event (no-op for plain events).
+
+        Subclasses with retained scheduling state — store gets,
+        :class:`~repro.sim.environment.Deadline` guards — override
+        this so an abandoned waiter stops costing anything.  Calling
+        it on an event that cannot be cancelled is deliberately
+        harmless, which lets guard-timeout code cancel its deadline
+        without caring which concrete type the environment handed out.
+        """
+
     # -- triggering -----------------------------------------------------
 
     def succeed(self, value: _t.Any = None) -> "Event":
@@ -254,3 +265,72 @@ class AnyOf(Condition):
 
     def __init__(self, env: "Environment", events: _t.Iterable[Event]) -> None:
         super().__init__(env, _any_done, events)
+
+
+class FirstOf(Event):
+    """Lean two-event race: triggers when either child does.
+
+    The guarded waits on the request path (``reply | deadline``,
+    ``data | deadline``) are among the hottest allocation sites in the
+    simulator; this is :class:`AnyOf` stripped to that exact shape —
+    no child tuple, no count, no per-child value dict (the value is
+    always ``None``; callers inspect the children directly).  The
+    trigger/failure push sequence matches AnyOf's, so swapping one for
+    the other does not move any heap sequence numbers.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", a: Event, b: Event) -> None:
+        super().__init__(env)
+        on_child = self._on_child
+        if a.callbacks is None:
+            on_child(a)
+        else:
+            a.callbacks.append(on_child)
+        if b.callbacks is None:
+            on_child(b)
+        else:
+            b.callbacks.append(on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._value is not PENDING:
+            if not event._ok:
+                # Sibling failed after the race was decided; the race
+                # can no longer surface it.
+                event.defuse()
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(_t.cast(BaseException, event._value))
+            return
+        self.succeed(None)
+
+
+def guard_timeout(
+    deadline: Event,
+    event: Event,
+    exc_type: type,
+    *parts: _t.Any,
+) -> None:
+    """Arm ``deadline`` to *fail* ``event`` when it fires first.
+
+    The cheapest shape for a timeout-guarded wait: the process yields
+    the primary ``event`` directly (no :class:`FirstOf` race object,
+    and — on the success path — no extra heap entry for the race's own
+    trigger).  If the deadline fires while the primary is still
+    pending, the primary is cancelled (a no-op for plain events;
+    store gets leave their queue) and failed with
+    ``exc_type("".join(map(str, parts)))``, which the waiting process
+    receives as a thrown exception at its ``yield``.  The exception
+    message is assembled lazily — winners never pay for the
+    formatting.  The caller must still ``deadline.cancel()`` after a
+    successful wait so an unfired side-heap deadline is purged.
+    """
+
+    def _fire(_deadline: Event) -> None:
+        if event._value is PENDING:
+            event.cancel()
+            event.fail(exc_type("".join(map(str, parts))))
+
+    _t.cast(list, deadline.callbacks).append(_fire)

@@ -43,6 +43,23 @@ class _Initialize(Event):
         env.schedule(self, priority=URGENT)
 
 
+class _HotStart:
+    """Pre-succeeded pseudo-event fed to ``_resume`` for hot starts.
+
+    Carries just the two attributes ``_resume`` reads on the success
+    path; one shared instance replaces the per-process ``_Initialize``
+    event (and its heap entry) when a caller asks for a synchronous
+    start.
+    """
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_HOT_START = _HotStart()
+
+
 class Process(Event):
     """A running simulation process.
 
@@ -54,6 +71,14 @@ class Process(Event):
         A generator yielding events.
     name:
         Optional label used in ``repr`` and error messages.
+    hot:
+        Start the generator synchronously inside the constructor
+        instead of via an urgent start event.  High-volume spawners
+        (the trace driver starts one process per request) use this to
+        skip the per-process start event; the first resumption then
+        runs at creation time rather than at the next scheduler step,
+        so it is only equivalent when the creator would otherwise
+        yield to the scheduler immediately.
     """
 
     __slots__ = ("_generator", "_target", "name")
@@ -63,6 +88,7 @@ class Process(Event):
         env: "Environment",
         generator: _t.Generator[Event, _t.Any, _t.Any],
         name: str | None = None,
+        hot: bool = False,
     ) -> None:
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
@@ -72,7 +98,12 @@ class Process(Event):
         #: The event this process currently waits for (``None`` when
         #: running or finished).
         self._target: Event | None = None
-        _Initialize(env, self)
+        if hot:
+            prev = env._active_process
+            self._resume(_t.cast(Event, _HOT_START))
+            env._active_process = prev
+        else:
+            _Initialize(env, self)
 
     @property
     def target(self) -> Event | None:

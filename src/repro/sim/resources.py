@@ -146,6 +146,20 @@ class Store:
         """Insert ``item``; fires once there is room."""
         return StorePut(self, item)
 
+    def put_nowait(self, item: _t.Any) -> None:
+        """Insert ``item`` immediately, without a :class:`StorePut`.
+
+        Fire-and-forget insertions into an unbounded store (nobody
+        yields the put, and it can never block) otherwise pay for a
+        put event that is scheduled, popped, and runs zero callbacks.
+        Raises :class:`RuntimeError` if the store is full — callers
+        that can block must use :meth:`put`.
+        """
+        if len(self.items) >= self.capacity:
+            raise RuntimeError("put_nowait on a full store")
+        self._store_item(item)
+        self._dispatch()
+
     def get(self) -> StoreGet:
         """Remove and return the next item; fires once one exists."""
         return StoreGet(self)

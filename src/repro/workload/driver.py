@@ -3,6 +3,18 @@
 One process per request event: at the event's time, the assigned
 client issues the service's request through the transparent-edge path
 and the timecurl measurement records ``time_total``.
+
+The driver paces itself with a single walking callback instead of
+pre-spawning every request process at time zero: the old shape pushed
+one start event plus one ``timeout(event.time_s)`` per request onto
+the heap up front, which kept ~2 heap entries per *future* request
+alive for the whole run — at 50x replay that is a standing six-figure
+heap whose log-factor taxes every single event.  The pacer arms one
+``call_at`` for the next batch of due requests and hot-starts each
+request process inline, in trace order, at exactly the instant the old
+per-request timeout would have fired (same ``base + time_s`` float),
+so request launch times — and the recorded latency sequences — are
+byte-identical.
 """
 
 from __future__ import annotations
@@ -13,7 +25,8 @@ import typing as _t
 from repro.core.service_registry import EdgeService
 from repro.metrics import MetricsRecorder, summarize
 from repro.net.packet import HTTPRequest
-from repro.sim import AllOf, Environment
+from repro.sim import Environment
+from repro.sim.process import Process
 from repro.workload.bigflows import RequestEvent
 from repro.workload.timecurl import TimecurlClient, TimecurlSample
 
@@ -61,21 +74,72 @@ class TraceDriver:
     def run(self, events: _t.Sequence[RequestEvent]) -> TraceRunSummary:
         """Execute the whole trace; returns once every request finished."""
         first_seen: dict[int, float] = {}
-        procs = []
+        n_services = len(self.services)
         for event in events:
-            if event.service_index >= len(self.services):
+            if event.service_index >= n_services:
                 raise ValueError(
                     f"event references service {event.service_index}, "
                     f"but only {len(self.services)} are registered"
                 )
             first_seen.setdefault(event.service_index, event.time_s)
-            procs.append(
-                self.env.process(
-                    self._one(event), name=f"trace:{event.time_s:.2f}"
+
+        env = self.env
+        done = env.event()
+        remaining = len(events)
+        if not remaining:
+            done.succeed(None)
+
+        def finished(proc: Process) -> None:
+            # Countdown replacing AllOf: no per-process result dict,
+            # fail-fast on the first crashed request (fetch() already
+            # absorbs the expected connection errors into samples, so
+            # a failure here is a real bug surfacing through run()).
+            nonlocal remaining
+            if not proc._ok:
+                proc.defuse()
+                if not done.triggered:
+                    done.fail(_t.cast(BaseException, proc._value))
+                return
+            remaining -= 1
+            if not remaining and not done.triggered:
+                done.succeed(None)
+
+        services = self.services
+        timecurls = self.timecurls
+        n_timecurls = len(timecurls)
+        requests = self.requests
+        base = env.now
+        iterator = iter(events)
+        pending = next(iterator, None)
+
+        def pace() -> None:
+            # Start every request due now (trace order), then re-arm
+            # for the next distinct launch time.  ``base + time_s`` is
+            # the same float the old per-request timeout fired at.
+            nonlocal pending
+            now = env._now
+            while pending is not None:
+                target = base + pending.time_s
+                if target > now:
+                    env.call_at(target, pace)
+                    return
+                event = pending
+                pending = next(iterator, None)
+                service = services[event.service_index]
+                client = timecurls[event.client_index % n_timecurls]
+                proc = Process(
+                    env,
+                    client.fetch(service, requests.get(service.name)),
+                    hot=True,
                 )
-            )
-        done = AllOf(self.env, procs)
-        self.env.run(until=done)
+                if proc.callbacks is not None:
+                    proc.callbacks.append(finished)
+                else:  # pragma: no cover - fetch always yields first
+                    finished(proc)
+
+        if pending is not None:
+            pace()
+        env.run(until=done)
 
         samples = [s for tc in self.timecurls for s in tc.samples]
         samples.sort(key=lambda s: s.started_at)
@@ -87,10 +151,3 @@ class TraceDriver:
             samples=samples,
             first_request_times=first_seen,
         )
-
-    def _one(self, event: RequestEvent):
-        yield self.env.timeout(event.time_s)
-        service = self.services[event.service_index]
-        client = self.timecurls[event.client_index % len(self.timecurls)]
-        request = self.requests.get(service.name)
-        yield from client.fetch(service, request)

@@ -21,19 +21,29 @@ carries the speedup::
 Smoke mode (``--check``) reruns the smallest recorded scale and fails
 (exit 1) if wall-clock regressed more than ``--tolerance`` (default
 2x) against the recorded numbers, and warns when events/sec at any
-recorded scale sits more than 30% below the embedded baseline — the
-perf gate wired into CI via the ``perf`` pytest marker (see
-benchmarks/perf/test_perf_smoke.py)::
+recorded scale sits more than 30% below the embedded baseline — or
+fails on that drop too when ``--strict`` is passed (the CI perf-smoke
+job runs with ``--strict``)::
 
-    PYTHONPATH=src python tools/bench_throughput.py --check
+    PYTHONPATH=src python tools/bench_throughput.py --check --strict
+
+Profile mode (``--profile``) replays one scale under cProfile and
+prints the top-25 functions by cumulative time, so perf work starts
+from data instead of guesswork; ``--profile-out FILE`` additionally
+dumps the raw pstats for ``snakeviz``/``pstats`` digging::
+
+    PYTHONPATH=src python tools/bench_throughput.py \
+        --profile --scales 10 --profile-out replay10.pstats
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import pathlib
 import platform
+import pstats
 import sys
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -48,7 +58,7 @@ from benchmarks.perf.harness import (  # noqa: E402
 )
 
 SCHEMA = "repro-bench-throughput/1"
-DEFAULT_REPORT = _REPO_ROOT / "BENCH_PR2.json"
+DEFAULT_REPORT = _REPO_ROOT / "BENCH_PR3.json"
 
 #: --check warns when events/sec drops below (1 - this) x baseline.
 EVENTS_DROP_WARN = 0.30
@@ -82,6 +92,30 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         action="store_true",
         help="smoke mode: rerun the smallest recorded scale and fail "
         "if wall-clock regressed beyond --tolerance",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --check: treat a >30%% events/sec drop vs the "
+        "embedded baseline as a failure, not a warning",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile mode: replay the first --scales entry under "
+        "cProfile and print the top-25 cumulative functions",
+    )
+    parser.add_argument(
+        "--profile-out",
+        type=pathlib.Path,
+        default=None,
+        help="with --profile: also dump raw pstats to this file",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        help="with --profile: number of functions to print (default 25)",
     )
     parser.add_argument(
         "--baseline",
@@ -195,6 +229,24 @@ def _events_drop_warnings(runs: list[dict], baseline_runs: list[dict]) -> list[s
     return warnings
 
 
+def _profile(args: argparse.Namespace) -> int:
+    scale = int(str(args.scales).split(",")[0])
+    print(f"[bench] profiling scale {scale}x (cProfile; wall-clock "
+          "numbers are not comparable to untraced runs)", flush=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_replay_benchmark(scale=scale, seed=args.seed)
+    profiler.disable()
+    print(f"[bench] replay done: wall={result.wall_s:.2f}s (traced) "
+          f"latency_md5={result.latency_md5[:12]}")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(args.profile_top)
+    if args.profile_out is not None:
+        stats.dump_stats(args.profile_out)
+        print(f"[bench] wrote pstats dump to {args.profile_out}")
+    return 0
+
+
 def _check(args: argparse.Namespace) -> int:
     if not args.baseline.exists():
         print(f"[bench] no baseline report at {args.baseline}; run the "
@@ -218,13 +270,17 @@ def _check(args: argparse.Namespace) -> int:
     # scales aren't rerun here, but their recorded numbers still tell
     # us whether the report itself was captured in a degraded state).
     live = {"scale": scale, "events_per_sec": result.events_per_sec}
-    for line in _events_drop_warnings([live], runs):
-        print(line, file=sys.stderr)
+    drops = _events_drop_warnings([live], runs)
     if "baseline" in recorded:
-        for line in _events_drop_warnings(
+        drops += _events_drop_warnings(
             recorded["runs"], recorded["baseline"]["runs"]
-        ):
-            print(line, file=sys.stderr)
+        )
+    for line in drops:
+        print(line, file=sys.stderr)
+    if drops and args.strict:
+        print("[bench] --strict: events/sec drop treated as failure",
+              file=sys.stderr)
+        return 1
     if result.latency_md5 != reference["latency_md5"]:
         print("[bench] WARNING: latency fingerprint drifted from the "
               f"recorded baseline ({result.latency_md5[:12]} != "
@@ -238,6 +294,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _parse_args(argv)
     if args.check:
         return _check(args)
+    if args.profile:
+        return _profile(args)
 
     scales = [int(s) for s in str(args.scales).split(",") if s.strip()]
     report = _run_sweep(scales, args.seed, args.label, args.alloc_scale)
