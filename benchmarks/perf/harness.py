@@ -92,8 +92,15 @@ def run_replay_benchmark(
     seed: int = DEFAULT_SEED,
     cluster_type: str = "docker",
     trace_allocations: bool = False,
+    fault_plan: _t.Any = None,
 ) -> BenchResult:
-    """Replay the bigFlows trace at ``scale``x and measure wall-clock."""
+    """Replay the bigFlows trace at ``scale``x and measure wall-clock.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) is armed against
+    the testbed just before the replay; its ``at_s`` offsets are
+    relative to the replay start.  Faulted runs have different latency
+    fingerprints — never compare their md5s to a fault-free baseline.
+    """
     params = scaled_params(scale)
     tb = C3Testbed(TestbedConfig(cluster_types=(cluster_type,)))
     cluster = tb.docker_cluster if cluster_type == "docker" else tb.k8s_cluster
@@ -115,6 +122,11 @@ def run_replay_benchmark(
                 peak_tracker[0] = len(table)
 
         table.install = tracking_install  # type: ignore[method-assign]
+
+    if fault_plan is not None:
+        from repro.faults import Injector
+
+        Injector(tb, fault_plan).arm()
 
     events = generate_trace(params, seed=seed)
     driver = TraceDriver(

@@ -37,6 +37,13 @@ from repro.sim import AllOf, Environment, Event, Resource
 class PullError(RuntimeError):
     """A pull failed even after exhausting its retries."""
 
+
+class NodeDown(RuntimeError):
+    """The node hosting this runtime is crashed (failure injection).
+
+    Raised by pull/create/start while the node is down; retryable —
+    callers back off and try again (the node may come back)."""
+
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.host import Application, Host
 
@@ -171,6 +178,9 @@ class Containerd:
         self._image_last_used: dict[str, float] = {}
         self.gc_stats = {"runs": 0, "images_deleted": 0, "bytes_freed": 0}
         self._start_slots = Resource(env, self.profile.start_concurrency)
+        #: Failure injection: while True, pull/create/start raise
+        #: :class:`NodeDown` (set by the Injector on a node crash).
+        self.down = False
 
     # -- pull phase ------------------------------------------------------
 
@@ -181,10 +191,26 @@ class Containerd:
         only the local manifest check happens (no network).
         """
         started = self.env.now
+        if self.down:
+            raise NodeDown(f"{self.node.name} is down")
         if self.images.has_image(image.reference):
             return PullResult(image.reference, 0.0, 0, 0, cache_hit=True)
 
-        manifest = yield from registry.manifest(image.reference)
+        attempt = 0
+        while True:
+            try:
+                manifest = yield from registry.manifest(image.reference)
+                break
+            except RegistryUnavailable as exc:
+                attempt += 1
+                if attempt > self.profile.pull_retries:
+                    raise PullError(
+                        f"manifest for {image.reference} unavailable after "
+                        f"{self.profile.pull_retries} retries: {exc}"
+                    ) from exc
+                yield self.env.timeout(
+                    self.profile.pull_retry_backoff_s * 2 ** (attempt - 1)
+                )
         missing = self.images.missing_layers(manifest)
         fetches = [
             self.env.process(
@@ -233,6 +259,8 @@ class Containerd:
 
         Requires the image to be present in the local store.
         """
+        if self.down:
+            raise NodeDown(f"{self.node.name} is down")
         if not self.images.has_image(spec.image.reference):
             raise RuntimeError(
                 f"image {spec.image.reference!r} not present on {self.node.name}; "
@@ -252,6 +280,8 @@ class Containerd:
         Application boot continues in the background; the container's
         :attr:`~Container.ready` event fires once its port is open.
         """
+        if self.down:
+            raise NodeDown(f"{self.node.name} is down")
         if container.state not in (ContainerState.CREATED, ContainerState.EXITED):
             # Stopped containers restart (as `docker start` allows).
             raise RuntimeError(
@@ -309,6 +339,31 @@ class Containerd:
         self._release_port(container)
         if not exit_event.triggered:
             exit_event.succeed(self.env.now)
+
+    def kill(self, container: Container) -> bool:
+        """SIGKILL a running container (failure injection; synchronous).
+
+        Unlike :meth:`stop` there is no graceful shutdown delay: the
+        process is gone now.  The ``exited`` event fires so a kubelet
+        restart policy picks the container up.  Returns True if the
+        container was running.
+        """
+        if container.state is not ContainerState.RUNNING:
+            return False
+        container.state = ContainerState.EXITED
+        container.exit_code = 137
+        self._release_port(container)
+        if not container.exited.triggered:
+            container.exited.succeed(self.env.now)
+        return True
+
+    def kill_all(self) -> int:
+        """Kill every running container (node crash); returns the count."""
+        killed = 0
+        for container in list(self.containers.values()):
+            if self.kill(container):
+                killed += 1
+        return killed
 
     # -- scale-down / remove phases --------------------------------------------------
 

@@ -85,12 +85,39 @@ class Registry:
         self.profile = profile
         self._images: dict[str, ImageSpec] = {}
         self._download_slots = Resource(env, profile.max_concurrent_downloads)
-        #: Probability that one layer fetch fails transiently
-        #: (failure-injection knob for robustness tests).
+        #: Probability that one request (manifest resolution or layer
+        #: fetch) fails transiently (failure-injection knob).
         self.failure_rate = failure_rate
         self._failure_rng = np.random.default_rng(failure_seed)
+        # Manifest failures draw from their own stream so enabling them
+        # does not perturb the (seeded) layer-fetch failure sequence.
+        self._manifest_rng = np.random.default_rng((failure_seed, 2))
         #: Pull statistics for tests/benchmarks.
-        self.stats = {"manifests": 0, "layers": 0, "bytes": 0, "failures": 0}
+        self.stats = {
+            "manifests": 0,
+            "manifest_failures": 0,
+            "layers": 0,
+            "bytes": 0,
+            "failures": 0,
+        }
+
+    def set_fault_rate(self, rate: float) -> None:
+        """Adjust the failure rate at runtime (Injector outage windows).
+
+        Unlike the constructor — where a permanently all-failing
+        registry is a configuration error — a temporary full outage
+        (``rate=1.0``) is allowed here.
+        """
+        if not 0 <= rate <= 1:
+            raise ValueError("fault rate must be in [0, 1]")
+        self.failure_rate = float(rate)
+
+    def reseed_faults(self, seed: int) -> None:
+        """Reseed both failure streams (FaultPlan determinism: the same
+        plan seed reproduces the same error pattern regardless of how
+        much traffic preceded the outage)."""
+        self._failure_rng = np.random.default_rng(seed)
+        self._manifest_rng = np.random.default_rng((seed, 2))
 
     def publish(self, image: ImageSpec) -> None:
         """Make an image available for pulling."""
@@ -102,6 +129,12 @@ class Registry:
         Costs two round trips: token/auth plus the manifest GET.
         """
         yield self.env.timeout(2 * self.profile.rtt_s)
+        if self.failure_rate and self._manifest_rng.random() < self.failure_rate:
+            # An outage fails the pull at its very first round trip.
+            self.stats["manifest_failures"] += 1
+            raise RegistryUnavailable(
+                f"{self.name}: transient failure resolving {reference}"
+            )
         self.stats["manifests"] += 1
         image = self._images.get(reference)
         if image is None:

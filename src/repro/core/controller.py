@@ -299,7 +299,11 @@ class EdgeController(SDNApp):
             self.predictor.observe(service.name, self.env.now)
 
         memorized = self.flow_memory.lookup(client_ip, service)
-        if memorized is not None and self._endpoint_alive(memorized):
+        if (
+            memorized is not None
+            and self._endpoint_alive(memorized)
+            and not self._should_re_resolve(memorized)
+        ):
             # FlowMemory fast path: reinstall without scheduling (§V).
             self.stats["memory_hits"] += 1
             self.flow_memory.touch(memorized)
@@ -339,8 +343,27 @@ class EdgeController(SDNApp):
         if endpoint is None:
             endpoint = ServiceEndpoint(ip=service.cloud_ip, port=service.port)
         self.flow_memory.remember(
-            client_ip, service, resolution.cluster_name, endpoint
+            client_ip,
+            service,
+            resolution.cluster_name,
+            endpoint,
+            degraded_from=resolution.degraded_from,
         )
+
+    def _should_re_resolve(self, flow: MemorizedFlow) -> bool:
+        """Degraded flows go back through the dispatcher — not the
+        memory fast path — as soon as the preferred cluster's breaker
+        stops blocking (the re-dispatch is what sends the half-open
+        probe).  Healthy flows return False on one attribute load."""
+        preferred = flow.degraded_from
+        if preferred is None:
+            return False
+        breaker = self.dispatcher.breakers.get(preferred)
+        if breaker is None:
+            # No breaker (transient failure, or breakers disabled):
+            # re-resolve immediately and let the dispatcher retry.
+            return True
+        return not breaker.blocked(self.env.now)
 
     def _endpoint_alive(self, flow: MemorizedFlow) -> bool:
         if flow.cluster_name == "cloud":

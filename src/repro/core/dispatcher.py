@@ -21,9 +21,12 @@ Responsibilities here:
 from __future__ import annotations
 
 import dataclasses
+import random
 import typing as _t
 
-from repro.cluster.base import EdgeCluster, ServiceEndpoint
+from repro.cluster.base import DeployError, EdgeCluster, ServiceEndpoint
+from repro.containers.containerd import NodeDown, PullError
+from repro.containers.registry import ImageNotFound, RegistryUnavailable
 from repro.core.flow_memory import FlowMemory
 from repro.core.schedulers.base import (
     ClientInfo,
@@ -32,9 +35,18 @@ from repro.core.schedulers.base import (
     GlobalScheduler,
 )
 from repro.core.service_registry import EdgeService
+from repro.faults.breaker import BreakerState, CircuitBreaker
 from repro.metrics import MetricsRecorder
 from repro.services.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.sim import Environment, Process
+
+#: Faults a retry can plausibly cure: transient registry errors,
+#: exhausted in-runtime pull retries, a crashed (rebooting) node.
+RETRYABLE_FAULTS = (RegistryUnavailable, PullError, NodeDown)
+
+#: Faults that will fail identically on every attempt: unknown image
+#: reference (bad manifest) or a structurally invalid deployment.
+FATAL_FAULTS = (ImageNotFound, DeployError)
 
 
 @dataclasses.dataclass
@@ -52,6 +64,13 @@ class DeploymentOutcome:
     wait_ready_s: float = 0.0
     total_s: float = 0.0
     ready: bool = True
+    #: Phase that failed ("pull" / "create" / "scale_up" /
+    #: "wait_ready"), or None when the deployment succeeded.
+    failed_phase: str | None = None
+    #: Stringified cause of the failure (diagnostics).
+    error: str | None = None
+    #: Attempts spent on the last phase executed (1 = no retries).
+    attempts: int = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -63,6 +82,11 @@ class Resolution:
     cluster_name: str
     #: The decision that produced this resolution (diagnostics).
     decision: Decision | None = None
+    #: Set when this resolution is a graceful-degradation fallback:
+    #: the preferred cluster whose deployment failed or whose breaker
+    #: is open.  Propagated into the memorized flow so it re-resolves
+    #: once the cluster recovers.
+    degraded_from: str | None = None
 
 
 class Dispatcher:
@@ -77,6 +101,13 @@ class Dispatcher:
         recorder: MetricsRecorder | None = None,
         calibration: Calibration = DEFAULT_CALIBRATION,
         ready_timeout_s: float = 120.0,
+        max_phase_retries: int = 2,
+        retry_backoff_s: float = 0.5,
+        retry_jitter: float = 0.1,
+        retry_seed: int = 0,
+        breaker_enabled: bool = True,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 30.0,
     ) -> None:
         self.env = env
         self.clusters = list(clusters)
@@ -85,6 +116,22 @@ class Dispatcher:
         self.recorder = recorder if recorder is not None else MetricsRecorder()
         self.calibration = calibration
         self.ready_timeout_s = ready_timeout_s
+        #: Retries per deployment phase after the first attempt.
+        self.max_phase_retries = max_phase_retries
+        #: Base backoff before a phase retry (doubles per attempt),
+        #: stretched by up to ``retry_jitter`` from a dispatcher-owned
+        #: seeded RNG — drawn only on failures, so fault-free runs stay
+        #: byte-identical.
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_jitter = retry_jitter
+        self._retry_rng = random.Random(retry_seed)
+        self.breaker_enabled = breaker_enabled
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        #: cluster name -> circuit breaker; created lazily on the first
+        #: deployment failure, so the dict stays empty (and state
+        #: gathering pays nothing) on healthy runs.
+        self.breakers: dict[str, CircuitBreaker] = {}
         #: (service name, cluster name) -> in-flight deployment process.
         self._inflight: dict[tuple[str, str], Process] = {}
         #: client ip -> last known location.
@@ -102,18 +149,47 @@ class Dispatcher:
     # -- state gathering ----------------------------------------------------------
 
     def gather_states(self, service: EdgeService) -> list[ClusterState]:
-        """Snapshot every cluster's state for this service."""
+        """Snapshot every cluster's state for this service.
+
+        Breaker consultation is skipped entirely while no breaker
+        exists (nothing ever failed): one dict truthiness check is the
+        whole fault-layer cost on healthy runs.
+        """
         plan = service.plan
-        return [
-            ClusterState(
-                cluster=cluster,
-                running=cluster.is_running(plan),
-                created=cluster.is_created(plan),
-                cached=cluster.image_cached(plan),
-                has_capacity=self._has_room(service, cluster),
+        breakers = self.breakers if self.breaker_enabled else None
+        states = []
+        for cluster in self.clusters:
+            blocked = degraded = False
+            if breakers:
+                breaker = breakers.get(cluster.name)
+                if breaker is not None:
+                    blocked = breaker.blocked(self.env.now)
+                    degraded = breaker.state is BreakerState.HALF_OPEN
+            states.append(
+                ClusterState(
+                    cluster=cluster,
+                    running=cluster.is_running(plan),
+                    created=cluster.is_created(plan),
+                    cached=cluster.image_cached(plan),
+                    has_capacity=self._has_room(service, cluster),
+                    blocked=blocked,
+                    degraded=degraded,
+                )
             )
-            for cluster in self.clusters
-        ]
+        return states
+
+    def breaker_for(self, cluster_name: str) -> CircuitBreaker:
+        """The cluster's circuit breaker, created on first use."""
+        breaker = self.breakers.get(cluster_name)
+        if breaker is None:
+            breaker = self.breakers[cluster_name] = CircuitBreaker(
+                self.env,
+                cluster_name,
+                failure_threshold=self.breaker_threshold,
+                cooldown_s=self.breaker_cooldown_s,
+                recorder=self.recorder,
+            )
+        return breaker
 
     def _has_room(self, service: EdgeService, cluster: EdgeCluster) -> bool:
         """Capacity check that also counts in-flight deployments —
@@ -138,43 +214,72 @@ class Dispatcher:
         Blocks (with-waiting) when the scheduler sends the current
         request to a cluster without a running instance; spawns a
         background deployment when a distinct BEST choice exists.
+
+        Graceful degradation: when the awaited deployment fails, the
+        dispatcher re-enters the paper's "without waiting" path over
+        the remaining candidates — the client is redirected to the
+        next FAST cluster, or ultimately the cloud, instead of seeing
+        the failure.  The resulting flow is tagged with the failed
+        cluster so it re-resolves once that cluster recovers.
         """
+        attempted: set[str] = set()
         states = self.gather_states(service)
         decision = self.scheduler.choose(service, states, client)
-        fast, best = decision.fast, decision.best
+        degraded_from = self._blocked_preference(states) if self.breakers else None
 
-        if fast is None:
-            # Current request to the cloud; optionally deploy BEST for
-            # future requests (no-waiting with cloud fallback).
-            if best is not None:
-                self.deploy_in_background(service, best)
-            return Resolution(endpoint=None, cluster_name="cloud", decision=decision)
+        while True:
+            fast, best = decision.fast, decision.best
 
-        if best is None or best is fast:
-            # With-waiting: FAST == BEST; the request holds until ready.
-            outcome = yield from self.ensure_deployed(service, fast)
-            if not outcome.ready:
+            if fast is None:
+                # Current request to the cloud; optionally deploy BEST
+                # for future requests (no-waiting with cloud fallback).
+                if best is not None:
+                    self.deploy_in_background(service, best)
                 return Resolution(
-                    endpoint=None, cluster_name="cloud", decision=decision
+                    endpoint=None,
+                    cluster_name="cloud",
+                    decision=decision,
+                    degraded_from=degraded_from,
                 )
+
+            if best is None or best is fast or not fast.is_running(service.plan):
+                # With-waiting (FAST == BEST), or the degenerate
+                # no-waiting case where the scheduler picked a cold
+                # FAST: the request holds until ready.
+                outcome = yield from self.ensure_deployed(service, fast)
+                if not outcome.ready:
+                    attempted.add(fast.name)
+                    if degraded_from is None:
+                        degraded_from = fast.name
+                    states = [
+                        s
+                        for s in self.gather_states(service)
+                        if s.cluster.name not in attempted
+                    ]
+                    decision = self.scheduler.choose(service, states, client)
+                    continue
+
+            if best is not None and best is not fast:
+                # Without-waiting: redirect now, deploy BEST in parallel.
+                self.deploy_in_background(service, best)
             endpoint = fast.endpoint(service.plan)
             assert endpoint is not None
             return Resolution(
-                endpoint=endpoint, cluster_name=fast.name, decision=decision
+                endpoint=endpoint,
+                cluster_name=fast.name,
+                decision=decision,
+                degraded_from=degraded_from,
             )
 
-        # Without-waiting: redirect now to FAST, deploy BEST in parallel.
-        if not fast.is_running(service.plan):
-            # Degenerate case (scheduler picked a cold FAST): wait on it.
-            outcome = yield from self.ensure_deployed(service, fast)
-            if not outcome.ready:
-                return Resolution(
-                    endpoint=None, cluster_name="cloud", decision=decision
-                )
-        self.deploy_in_background(service, best)
-        endpoint = fast.endpoint(service.plan)
-        assert endpoint is not None
-        return Resolution(endpoint=endpoint, cluster_name=fast.name, decision=decision)
+    def _blocked_preference(self, states: list[ClusterState]) -> str | None:
+        """Nearest breaker-blocked cluster — the candidate the
+        scheduler would likely have preferred were it healthy — so
+        resolutions made while a breaker is open come out tagged
+        degraded even without an in-band failure."""
+        blocked = [s for s in states if s.blocked]
+        if not blocked:
+            return None
+        return min(blocked, key=lambda s: (s.distance, s.cluster.name)).cluster.name
 
     # -- deployment pipeline -----------------------------------------------------------
 
@@ -214,20 +319,32 @@ class Dispatcher:
 
         if not cluster.image_cached(plan):
             t0 = self.env.now
-            yield from cluster.pull(plan)
+            ok = yield from self._attempt_phase(
+                outcome, "pull", lambda: cluster.pull(plan)
+            )
+            if not ok:
+                return self._finish_failed(outcome, started, cluster)
             outcome.pulled = True
             outcome.pull_s = self.env.now - t0
             self.recorder.record(f"pull/{cluster.name}/{tag}", outcome.pull_s)
 
         if not cluster.is_created(plan):
             t0 = self.env.now
-            yield from cluster.create(plan)
+            ok = yield from self._attempt_phase(
+                outcome, "create", lambda: cluster.create(plan)
+            )
+            if not ok:
+                return self._finish_failed(outcome, started, cluster)
             outcome.created = True
             outcome.create_s = self.env.now - t0
             self.recorder.record(f"create/{cluster.name}/{tag}", outcome.create_s)
 
         t0 = self.env.now
-        yield from cluster.scale_up(plan)
+        ok = yield from self._attempt_phase(
+            outcome, "scale_up", lambda: cluster.scale_up(plan)
+        )
+        if not ok:
+            return self._finish_failed(outcome, started, cluster)
         outcome.scaled = True
         outcome.scale_up_s = self.env.now - t0
         self.recorder.record(f"scale_up/{cluster.name}/{tag}", outcome.scale_up_s)
@@ -244,9 +361,68 @@ class Dispatcher:
         self.recorder.record(
             f"wait_ready/{cluster.name}/{tag}", outcome.wait_ready_s
         )
+        if not ready:
+            # The instance never answered on its port: a deployment
+            # failure like any other, not a silent half-install.
+            outcome.failed_phase = "wait_ready"
+            outcome.error = (
+                f"service port not open within {self.ready_timeout_s}s"
+            )
+            return self._finish_failed(outcome, started, cluster)
 
         outcome.total_s = self.env.now - started
         self.recorder.record(f"deploy_total/{cluster.name}/{tag}", outcome.total_s)
+        if self.breaker_enabled:
+            breaker = self.breakers.get(cluster.name)
+            if breaker is not None:
+                breaker.record_success()
+        return outcome
+
+    def _attempt_phase(self, outcome: DeploymentOutcome, phase: str, make_call):
+        """Run one deployment phase with bounded, jittered retries
+        (generator returning bool: did the phase complete?).
+
+        Retryable faults back off exponentially (``retry_backoff_s * 2^n``,
+        stretched by up to ``retry_jitter`` from the seeded RNG); fatal
+        faults fail immediately.  On the happy path this adds no events
+        and draws no random numbers.
+        """
+        attempt = 1
+        while True:
+            try:
+                yield from make_call()
+                outcome.attempts = attempt
+                return True
+            except FATAL_FAULTS as exc:
+                outcome.failed_phase = phase
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                outcome.attempts = attempt
+                return False
+            except RETRYABLE_FAULTS as exc:
+                if attempt > self.max_phase_retries:
+                    outcome.failed_phase = phase
+                    outcome.error = f"{type(exc).__name__}: {exc}"
+                    outcome.attempts = attempt
+                    return False
+                backoff = self.retry_backoff_s * 2 ** (attempt - 1)
+                backoff *= 1.0 + self.retry_jitter * self._retry_rng.random()
+                self.recorder.count(f"deploy_retries/{outcome.cluster_name}")
+                yield self.env.timeout(backoff)
+                attempt += 1
+
+    def _finish_failed(
+        self,
+        outcome: DeploymentOutcome,
+        started: float,
+        cluster: EdgeCluster,
+    ) -> DeploymentOutcome:
+        """Close out a failed deployment: stamp the outcome, count the
+        failure, and feed the cluster's circuit breaker."""
+        outcome.ready = False
+        outcome.total_s = self.env.now - started
+        self.recorder.count(f"deploy_failures/{cluster.name}")
+        if self.breaker_enabled:
+            self.breaker_for(cluster.name).record_failure()
         return outcome
 
     def deploy_in_background(
@@ -263,6 +439,10 @@ class Dispatcher:
     def _background(self, service: EdgeService, cluster: EdgeCluster):
         outcome = yield from self.ensure_deployed(service, cluster)
         if not outcome.ready:
+            # BEST failed: clients stay where they are, but their flows
+            # are tagged degraded so they re-resolve (instead of being
+            # replayed from memory) once this cluster recovers.
+            self.flow_memory.mark_service_degraded(service, cluster.name)
             return
         endpoint = cluster.endpoint(service.plan)
         if endpoint is not None:

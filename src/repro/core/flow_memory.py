@@ -31,10 +31,19 @@ class MemorizedFlow:
     endpoint: ServiceEndpoint
     created_at: float
     last_used: float
+    #: Set when the flow is a graceful-degradation fallback: the name
+    #: of the preferred cluster whose deployment failed.  Degraded
+    #: flows are re-resolved — not just replayed from memory — once the
+    #: preferred cluster's breaker stops blocking.
+    degraded_from: str | None = None
 
     @property
     def key(self) -> tuple[IPv4Address, str]:
         return (self.client_ip, self.service.name)
+
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_from is not None
 
 
 class FlowMemory:
@@ -69,6 +78,7 @@ class FlowMemory:
         service: EdgeService,
         cluster_name: str,
         endpoint: ServiceEndpoint,
+        degraded_from: str | None = None,
     ) -> MemorizedFlow:
         """Memorize (or refresh) the flow for (client, service)."""
         now = self.env.now
@@ -81,12 +91,14 @@ class FlowMemory:
                 endpoint=endpoint,
                 created_at=now,
                 last_used=now,
+                degraded_from=degraded_from,
             )
             self._flows[flow.key] = flow
         else:
             flow.cluster_name = cluster_name
             flow.endpoint = endpoint
             flow.last_used = now
+            flow.degraded_from = degraded_from
         return flow
 
     def lookup(
@@ -125,8 +137,26 @@ class FlowMemory:
             if flow.service.name == service.name:
                 flow.cluster_name = cluster_name
                 flow.endpoint = endpoint
+                flow.degraded_from = None
                 updated += 1
         return updated
+
+    def mark_service_degraded(
+        self, service: EdgeService, preferred_cluster: str
+    ) -> int:
+        """Tag every flow of ``service`` as degraded from
+        ``preferred_cluster`` (its deployment failed); such flows are
+        re-resolved instead of replayed once the cluster recovers.
+        Returns the number of flows tagged."""
+        tagged = 0
+        for flow in self._flows.values():
+            if (
+                flow.service.name == service.name
+                and flow.cluster_name != preferred_cluster
+            ):
+                flow.degraded_from = preferred_cluster
+                tagged += 1
+        return tagged
 
     def __len__(self) -> int:
         return len(self._flows)

@@ -24,6 +24,12 @@ class ClusterState:
     cached: bool
     #: Room for a (new) instance of this service.
     has_capacity: bool = True
+    #: The cluster's circuit breaker is open: recent deployments kept
+    #: failing and the cooldown has not elapsed — not a candidate.
+    blocked: bool = False
+    #: The breaker is half-open: the cluster may take a probe
+    #: deployment, but schedulers prefer healthy peers at equal rank.
+    degraded: bool = False
 
     @property
     def distance(self) -> int:
@@ -32,7 +38,7 @@ class ClusterState:
     @property
     def eligible(self) -> bool:
         """Can this cluster serve the request (now or after deploying)?"""
-        return self.running or self.has_capacity
+        return (self.running or self.has_capacity) and not self.blocked
 
 
 @dataclasses.dataclass(frozen=True)

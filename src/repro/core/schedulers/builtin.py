@@ -33,17 +33,19 @@ def _nearest(states: _t.Sequence[ClusterState]) -> ClusterState | None:
     eligible = [s for s in states if s.eligible]
     if not eligible:
         return None
+    # Degraded (breaker half-open) clusters lose ties against healthy
+    # peers; with no breaker activity the key reduces to the old one.
     return min(
         eligible,
-        key=lambda s: (s.distance, not s.cached, s.cluster.name),
+        key=lambda s: (s.distance, s.degraded, not s.cached, s.cluster.name),
     )
 
 
 def _nearest_running(states: _t.Sequence[ClusterState]) -> ClusterState | None:
-    running = [s for s in states if s.running]
+    running = [s for s in states if s.running and not s.blocked]
     if not running:
         return None
-    return min(running, key=lambda s: (s.distance, s.cluster.name))
+    return min(running, key=lambda s: (s.distance, s.degraded, s.cluster.name))
 
 
 class NearestScheduler(GlobalScheduler):

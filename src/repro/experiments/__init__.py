@@ -30,6 +30,7 @@ from repro.experiments.ablations import (
     run_ablation_waiting_modes,
 )
 from repro.experiments.extension_serverless import run_extension_serverless
+from repro.experiments.resilience import run_resilience
 from repro.experiments.extension_proactive import run_extension_proactive
 from repro.experiments.extension_load import run_extension_load
 from repro.experiments.extension_breakdown import run_extension_breakdown
@@ -57,6 +58,7 @@ EXPERIMENTS = {
     "extension_load": run_extension_load,
     "extension_breakdown": run_extension_breakdown,
     "extension_hierarchy": run_extension_hierarchy,
+    "resilience": run_resilience,
 }
 
 __all__ = [
@@ -80,6 +82,7 @@ __all__ = [
     "run_extension_proactive",
     "run_extension_serverless",
     "run_fig16_warm_requests",
+    "run_resilience",
     "run_scale_up_experiment",
     "run_table1",
     "run_trace_replay",

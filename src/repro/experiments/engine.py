@@ -69,6 +69,7 @@ FAST_KWARGS: dict[str, dict[str, _t.Any]] = {
     "extension_load": {"concurrency_levels": [1, 8], "rounds": 2},
     "extension_breakdown": {"n_instances": 3},
     "extension_hierarchy": {},
+    "resilience": {"failure_rates": [0.0, 0.9], "n_rounds": 4},
 }
 
 

@@ -1,0 +1,31 @@
+"""Deterministic, seedable fault injection (PR 4).
+
+``FaultPlan`` declares *what* goes wrong and *when*; the ``Injector``
+schedules it against a testbed; the ``CircuitBreaker`` lives in the
+Dispatcher and keeps failing clusters out of scheduling decisions.
+"""
+
+from repro.faults.breaker import BreakerState, CircuitBreaker
+from repro.faults.injector import Injector
+from repro.faults.plan import (
+    APIStall,
+    Fault,
+    FaultPlan,
+    LinkPartition,
+    NodeCrash,
+    PodKill,
+    RegistryOutage,
+)
+
+__all__ = [
+    "APIStall",
+    "BreakerState",
+    "CircuitBreaker",
+    "Fault",
+    "FaultPlan",
+    "Injector",
+    "LinkPartition",
+    "NodeCrash",
+    "PodKill",
+    "RegistryOutage",
+]

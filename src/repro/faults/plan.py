@@ -1,0 +1,133 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is a list of fault descriptors, each pinned to a
+simulated time.  Plans are plain data — building one touches nothing;
+the :class:`~repro.faults.injector.Injector` turns a plan into
+scheduled callbacks against a concrete testbed.  Every fault type is a
+frozen dataclass so plans hash/compare cleanly and can be embedded in
+experiment parameters.
+
+Determinism: a plan carries a ``seed`` used for any stochastic fault
+(currently registry error rates).  Faults scheduled for the same
+instant apply in plan order (the simulator's event sequence numbers are
+strictly increasing), so the same plan against the same testbed always
+produces the same trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+
+@dataclasses.dataclass(frozen=True)
+class RegistryOutage:
+    """Registry ``registry`` fails requests at ``rate`` for ``duration_s``.
+
+    ``rate=1.0`` is a full outage: every manifest resolution and layer
+    fetch raises ``RegistryUnavailable`` after its network round-trip.
+    """
+
+    at_s: float
+    registry: str
+    duration_s: float
+    rate: float = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeCrash:
+    """Crash node ``node`` (a host or a switch) at ``at_s``.
+
+    ``duration_s=None`` leaves the node down for the rest of the run.
+    Crashing a host downs its links, resets its connections, kills its
+    running containers, and makes its container runtime raise
+    ``NodeDown`` until restored.  Crashing a switch downs its links and
+    clears its flow table; on restore the controller replays datapath
+    join so infrastructure rules are reinstalled (a rebooted switch
+    comes back empty).
+    """
+
+    at_s: float
+    node: str
+    duration_s: float | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkPartition:
+    """Partition the link between devices ``a`` and ``b`` for ``duration_s``."""
+
+    at_s: float
+    a: str
+    b: str
+    duration_s: float
+
+
+@dataclasses.dataclass(frozen=True)
+class PodKill:
+    """Kill the running containers of ``service`` on cluster ``cluster``."""
+
+    at_s: float
+    cluster: str
+    service: str
+
+
+@dataclasses.dataclass(frozen=True)
+class APIStall:
+    """Stall cluster ``cluster``'s API server for ``duration_s``.
+
+    All API requests issued during the stall block until it lifts
+    (they are not lost — a stalled apiserver is slow, not dead).
+    """
+
+    at_s: float
+    cluster: str
+    duration_s: float
+
+
+Fault = _t.Union[RegistryOutage, NodeCrash, LinkPartition, PodKill, APIStall]
+
+
+@dataclasses.dataclass
+class FaultPlan:
+    """An ordered schedule of faults plus the seed for stochastic ones."""
+
+    faults: list[Fault] = dataclasses.field(default_factory=list)
+    seed: int = 0
+
+    # Chainable builders so plans read as scripts:
+    #   FaultPlan(seed=7).registry_outage(5.0, "docker-hub", 30.0)
+    #                    .node_crash(10.0, "egs", duration_s=20.0)
+
+    def registry_outage(
+        self, at_s: float, registry: str, duration_s: float, rate: float = 1.0
+    ) -> "FaultPlan":
+        self.faults.append(RegistryOutage(at_s, registry, duration_s, rate))
+        return self
+
+    def node_crash(
+        self, at_s: float, node: str, duration_s: float | None = None
+    ) -> "FaultPlan":
+        self.faults.append(NodeCrash(at_s, node, duration_s))
+        return self
+
+    def partition(
+        self, at_s: float, a: str, b: str, duration_s: float
+    ) -> "FaultPlan":
+        self.faults.append(LinkPartition(at_s, a, b, duration_s))
+        return self
+
+    def kill_pod(self, at_s: float, cluster: str, service: str) -> "FaultPlan":
+        self.faults.append(PodKill(at_s, cluster, service))
+        return self
+
+    def api_stall(
+        self, at_s: float, cluster: str, duration_s: float
+    ) -> "FaultPlan":
+        self.faults.append(APIStall(at_s, cluster, duration_s))
+        return self
+
+    def __iter__(self) -> _t.Iterator[Fault]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)

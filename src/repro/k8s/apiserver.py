@@ -62,11 +62,26 @@ class APIServer:
         self._resource_version = 0
         #: API request counter, for tests.
         self.stats = {"requests": 0, "events": 0}
+        #: Failure injection: requests issued before this instant block
+        #: until it passes (a stalled apiserver is slow, not dead).
+        self._stalled_until = 0.0
 
     # -- helpers ----------------------------------------------------------
 
+    def stall_for(self, duration_s: float) -> None:
+        """Stall the apiserver: every request issued during the window
+        waits for the residual stall before its normal latency."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be >= 0")
+        self._stalled_until = max(
+            self._stalled_until, self.env.now + duration_s
+        )
+
     def _latency(self):
         self.stats["requests"] += 1
+        stalled_until = self._stalled_until
+        if stalled_until > self.env.now:
+            yield self.env.timeout(stalled_until - self.env.now)
         yield self.env.timeout(self.profile.api_latency_s)
 
     def _bump(self, meta: ObjectMeta) -> None:

@@ -17,7 +17,13 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.containers.containerd import Container, Containerd, ContainerSpec
+from repro.containers.containerd import (
+    Container,
+    Containerd,
+    ContainerSpec,
+    NodeDown,
+    PullError,
+)
 from repro.containers.registry import Registry
 from repro.k8s.apiserver import APIServer, WatchEvent
 from repro.k8s.objects import ContainerDef, Pod
@@ -105,14 +111,22 @@ class Kubelet:
         yield self.env.timeout(profile.sandbox_setup_s)
 
         containers: list[Container] = []
-        for cdef in pod.spec.containers:
-            yield self.env.timeout(profile.image_check_s)
-            if not self.runtime.images.has_image(cdef.image.reference):
-                yield from self.runtime.pull(cdef.image, self.image_registry)
-            spec = self._container_spec(pod, cdef)
-            container = yield from self.runtime.create(spec)
-            yield from self.runtime.start(container)
-            containers.append(container)
+        try:
+            for cdef in pod.spec.containers:
+                yield self.env.timeout(profile.image_check_s)
+                if not self.runtime.images.has_image(cdef.image.reference):
+                    yield from self.runtime.pull(cdef.image, self.image_registry)
+                spec = self._container_spec(pod, cdef)
+                container = yield from self.runtime.create(spec)
+                yield from self.runtime.start(container)
+                containers.append(container)
+        except (NodeDown, PullError):
+            # Node crashed or registry is out: leave the pod Pending —
+            # the housekeeping loop re-reconciles it on its next sync.
+            for container in containers:
+                self.runtime.kill(container)
+            self._starting.discard(pod.metadata.uid)
+            return
         self.pod_containers[pod.metadata.uid] = containers
 
         ready_events = [c.ready for c in containers if not c.ready.triggered]
@@ -154,7 +168,15 @@ class Kubelet:
             yield self.env.timeout(self.RESTART_BACKOFF_S)
             if pod.metadata.uid not in self.pod_containers:
                 return
-            yield from self.runtime.start(container)
+            while True:
+                try:
+                    yield from self.runtime.start(container)
+                    break
+                except NodeDown:
+                    # Node is crashed; keep backing off until it returns.
+                    yield self.env.timeout(self.RESTART_BACKOFF_S)
+                    if pod.metadata.uid not in self.pod_containers:
+                        return
             yield container.ready
             others = self.pod_containers.get(pod.metadata.uid, [])
             if all(c.state.value == "running" for c in others):

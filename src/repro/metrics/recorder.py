@@ -57,6 +57,7 @@ class MetricsRecorder:
     def __init__(self) -> None:
         self._samples: dict[str, list[float]] = collections.defaultdict(list)
         self._series: dict[str, TimeSeries] = collections.defaultdict(TimeSeries)
+        self._counters: collections.Counter[str] = collections.Counter()
 
     # -- scalar samples ---------------------------------------------------
 
@@ -87,11 +88,31 @@ class MetricsRecorder:
     def series(self, name: str) -> TimeSeries:
         return self._series[name]
 
+    # -- counters ------------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment the named event counter (breaker transitions,
+        retries, ... — things where only the tally matters)."""
+        self._counters[name] += n
+
+    def counter(self, name: str) -> int:
+        """Current value of the named counter (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """All counters whose name starts with ``prefix``."""
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
+
     # -- maintenance ----------------------------------------------------------
 
     def clear(self) -> None:
         self._samples.clear()
         self._series.clear()
+        self._counters.clear()
 
     def merge(self, other: "MetricsRecorder") -> None:
         """Fold another recorder's samples into this one."""
@@ -101,3 +122,4 @@ class MetricsRecorder:
             mine = self._series[name]
             for t, v in zip(series._times, series._values):
                 mine.append(t, v)
+        self._counters.update(other._counters)

@@ -254,6 +254,26 @@ class Host(NetDevice):
         """Stop accepting connections on ``port``."""
         self._listeners.pop(port, None)
 
+    def crash(self) -> None:
+        """Power-fail this host (failure injection).
+
+        Listeners close, every established connection is reset (peers
+        blocked in ``recv`` get a :class:`ConnectionReset`), pending
+        handshakes are left to time out, and all memoized routes die.
+        Links and containers are the Injector's business — this only
+        covers the host's own TCP/route state.
+        """
+        self._listeners.clear()
+        for conn in list(self._connections.values()):
+            conn.established = False
+            store = conn._incoming
+            if store is not None:
+                store.put_nowait(ConnectionReset(f"{self.name} crashed"))
+        self._connections.clear()
+        for route in list(self._routes.values()):
+            route.invalidate()
+        self._routes.clear()
+
     def port_open_event(self, port: int) -> _t.Any:
         """An event firing when ``port`` opens (readiness subscription).
 

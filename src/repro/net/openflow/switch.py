@@ -158,6 +158,21 @@ class OpenFlowSwitch(NetDevice):
     def port_of(self, iface: NetworkInterface) -> int:
         return self._port_numbers[iface]
 
+    def ports(self) -> list[NetworkInterface]:
+        """All port interfaces (Injector crashes walk the attached links)."""
+        return list(self._ports.values())
+
+    def power_cycle(self) -> None:
+        """Lose all volatile state (failure injection: switch crash).
+
+        Flow entries and held packet-in buffers are gone; the table
+        epoch bump invalidates memoized routes through this switch.
+        The controller replays ``on_datapath_join`` when the switch
+        comes back, exactly as a real datapath re-handshakes.
+        """
+        self.table.clear()
+        self._buffers.clear()
+
     # -- data plane ---------------------------------------------------------
 
     def receive(self, packet: Packet, iface: NetworkInterface) -> None:

@@ -245,6 +245,19 @@ class FlowTable:
         self._index_discard(entry)
         return True
 
+    def clear(self) -> None:
+        """Drop every entry at once (switch power-cycle).
+
+        No FlowRemoved notifications fire — a dead switch cannot
+        notify — and the epoch bumps exactly once so memoized routes
+        through this table revalidate on their next packet.
+        """
+        self.epoch += 1
+        self._entries.clear()
+        self._index.clear()
+        self._plans.clear()
+        self._by_cookie.clear()
+
     def remove_matching(
         self,
         match: FlowMatch | None = None,

@@ -84,7 +84,7 @@ class TestExperimentResult:
             "ablation_layer_cache", "ablation_flow_table",
             "ablation_flow_occupancy",
             "extension_serverless", "extension_proactive", "extension_load",
-            "extension_breakdown", "extension_hierarchy",
+            "extension_breakdown", "extension_hierarchy", "resilience",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -156,3 +156,22 @@ class TestFigureRunners:
         assert metrics["requests issued"] == 130
         assert metrics["request errors"] == 0
         assert metrics["services deployed"] == 6
+
+
+class TestResilience:
+    def test_degradation_keeps_availability_and_breaker_cuts_failures(self):
+        from repro.experiments import run_resilience
+
+        result = run_resilience(
+            failure_rates=(0.95,), n_clients=3, n_rounds=6
+        )
+        # Graceful degradation: no client-visible errors either way.
+        assert set(result.column("Availability (%)")) == {"100.0"}
+        by_mode = {row[1]: row for row in result.rows}
+        # The breaker stops the doomed re-deployments...
+        failed = result.headers.index("Failed deploys")
+        assert by_mode["on"][failed] < by_mode["off"][failed]
+        assert by_mode["on"][result.headers.index("Breaker opens")] >= 1
+        # ...and the median collapses to the fast-path serving latency.
+        p50 = result.headers.index("p50 (s)")
+        assert by_mode["on"][p50] < by_mode["off"][p50]

@@ -27,6 +27,17 @@ job runs with ``--strict``)::
 
     PYTHONPATH=src python tools/bench_throughput.py --check --strict
 
+Chaos mode (``--faults``) arms a canned deterministic fault plan — a
+60 s full registry outage from t=30 s and a 10 s crash of the edge
+host at t=150 s — against the testbed before the replay, exercising
+the retry/breaker/degradation machinery under load.  Latency
+fingerprints from a faulted run are *not* comparable to the fault-free
+baseline, so ``--faults`` refuses to combine with ``--check`` and
+never overwrites the default report::
+
+    PYTHONPATH=src python tools/bench_throughput.py \
+        --faults --scales 10 --output /tmp/chaos10.json
+
 Profile mode (``--profile``) replays one scale under cProfile and
 prints the top-25 functions by cumulative time, so perf work starts
 from data instead of guesswork; ``--profile-out FILE`` additionally
@@ -135,16 +146,43 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         default=2.0,
         help="--check fails when wall-clock exceeds tolerance x recorded",
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="arm the canned fault plan (registry outage + edge-host "
+        "crash) during the replay; incompatible with --check",
+    )
     return parser.parse_args(argv)
 
 
+def _canned_fault_plan(seed: int):
+    """The chaos-mode schedule: outage mid-ramp, host crash mid-replay.
+
+    Offsets are relative to the replay start within the 300 s capture
+    window; the same seed gives a byte-identical faulted replay.
+    """
+    from repro.faults import FaultPlan
+
+    return (
+        FaultPlan(seed=seed)
+        .registry_outage(30.0, "docker-hub", 60.0, rate=1.0)
+        .node_crash(150.0, "egs", duration_s=10.0)
+    )
+
+
 def _run_sweep(
-    scales: list[int], seed: int, label: str, alloc_scale: int = 0
+    scales: list[int],
+    seed: int,
+    label: str,
+    alloc_scale: int = 0,
+    with_faults: bool = False,
 ) -> dict:
     runs = []
     for scale in scales:
-        print(f"[bench] scale {scale}x ...", flush=True)
-        result = run_replay_benchmark(scale=scale, seed=seed)
+        plan = _canned_fault_plan(seed) if with_faults else None
+        print(f"[bench] scale {scale}x{' (faults armed)' if plan else ''} ...",
+              flush=True)
+        result = run_replay_benchmark(scale=scale, seed=seed, fault_plan=plan)
         runs.append(result.to_json())
         eps = result.events_per_sec
         print(
@@ -162,6 +200,8 @@ def _run_sweep(
         "trace_seed": seed,
         "runs": runs,
     }
+    if with_faults:
+        report["faults"] = [repr(fault) for fault in _canned_fault_plan(seed)]
     if alloc_scale:
         # Separate pass: tracemalloc slows the replay several-fold, so
         # allocation numbers must never share a run with wall-clock.
@@ -292,15 +332,27 @@ def _check(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = _parse_args(argv)
+    if args.faults and (args.check or args.profile):
+        print("[bench] --faults changes the workload semantics; it cannot "
+              "combine with --check or --profile", file=sys.stderr)
+        return 2
     if args.check:
         return _check(args)
     if args.profile:
         return _profile(args)
 
     scales = [int(s) for s in str(args.scales).split(",") if s.strip()]
-    report = _run_sweep(scales, args.seed, args.label, args.alloc_scale)
+    report = _run_sweep(
+        scales, args.seed, args.label, args.alloc_scale,
+        with_faults=args.faults,
+    )
     if args.merge_baseline is not None:
         _merge_baseline(report, args.merge_baseline)
+    if args.faults and args.output == DEFAULT_REPORT:
+        # Never let a faulted run clobber the fault-free baseline.
+        print("[bench] faulted run: pass an explicit --output to save "
+              "the report (default report left untouched)")
+        return 0
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench] wrote {args.output}")
     return 0
