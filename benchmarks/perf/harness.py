@@ -87,6 +87,80 @@ def scaled_params(scale: int, base: BigFlowsParams | None = None) -> BigFlowsPar
     return dataclasses.replace(base, n_requests=base.n_requests * scale)
 
 
+def run_federation_benchmark(
+    n_sites: int = 1,
+    scale: int = 1,
+    seed: int = DEFAULT_SEED,
+) -> BenchResult:
+    """Replay the bigFlows trace against the federated control plane.
+
+    Same trace, same seed, same fingerprinting as
+    :func:`run_replay_benchmark`, but the testbed is a
+    :class:`~repro.testbed.FederatedTestbed`: ``n_sites`` per-site
+    controllers over replicated shared state instead of one monolithic
+    controller.  Services are registered and pre-created at site 0 and
+    the trace's clients are spread round-robin across every site, so
+    with ``n_sites > 1`` a share of the requests exercises the
+    cross-site redirect path.  With ``n_sites=1`` the run is a direct
+    hot-path check of the sharded control plane against the
+    single-controller replay (the CI perf-smoke job runs exactly that).
+    """
+    from repro.testbed import FederatedTestbed, FederationConfig
+
+    params = scaled_params(scale)
+    tb = FederatedTestbed(
+        FederationConfig(n_sites=n_sites, clients_per_site=4)
+    )
+    site0 = tb.sites[0]
+    services = [
+        tb.register_template(NGINX, wait_replication=False)
+        for _ in range(params.n_services)
+    ]
+    tb.settle_replication()
+    for service in services:
+        tb.prepare_created(site0.cluster, service)
+    tb.settle(1.0)
+
+    clients = [client for site in tb.sites for client in site.clients]
+    events = generate_trace(params, seed=seed)
+    driver = TraceDriver(
+        tb.env,
+        clients,
+        services,
+        requests={s.name: NGINX.request for s in services},
+        recorder=tb.recorder,
+    )
+
+    tables = [site.switch.table for site in tb.sites]
+    sim_start = tb.env.now
+    events_before = getattr(tb.env, "events_processed", None)
+    wall_start = time.perf_counter()
+    summary = driver.run(events)
+    wall_s = time.perf_counter() - wall_start
+    events_after = getattr(tb.env, "events_processed", None)
+
+    n_events: int | None = None
+    if events_before is not None and events_after is not None:
+        n_events = events_after - events_before
+
+    return BenchResult(
+        scale=scale,
+        n_requests=summary.n_requests,
+        n_ok=summary.n_ok,
+        n_errors=summary.n_errors,
+        wall_s=round(wall_s, 3),
+        sim_s=round(tb.env.now - sim_start, 6),
+        requests_per_sec=round(summary.n_requests / wall_s, 1),
+        events=n_events,
+        events_per_sec=round(n_events / wall_s, 1) if n_events else None,
+        peak_flow_table=max(int(t.peak_size) for t in tables),
+        final_flow_table=max(len(t) for t in tables),
+        latency_md5=fingerprint_latencies(
+            s.time_total for s in summary.samples
+        ),
+    )
+
+
 def run_replay_benchmark(
     scale: int = 1,
     seed: int = DEFAULT_SEED,

@@ -1,32 +1,22 @@
-"""The abstract edge-cluster interface (deployment phases of fig. 4)."""
+"""The abstract edge-cluster interface (deployment phases of fig. 4).
+
+:class:`DeployError` and :class:`ServiceEndpoint` live in
+:mod:`repro.cluster.plan` (alongside the shared phase driver) and are
+re-exported here for compatibility.
+"""
 
 from __future__ import annotations
 
 import abc
-import dataclasses
 import typing as _t
 
-from repro.cluster.plan import DeploymentPlan
-from repro.net.addressing import IPv4Address
+from repro.cluster.plan import DeployError, DeploymentPlan, ServiceEndpoint
 from repro.sim import Environment
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.host import Host
 
-
-class DeployError(RuntimeError):
-    """A deployment phase failed (missing image, bad state, timeout)."""
-
-
-@dataclasses.dataclass(frozen=True)
-class ServiceEndpoint:
-    """Where a running service instance answers."""
-
-    ip: IPv4Address
-    port: int
-
-    def __str__(self) -> str:
-        return f"{self.ip}:{self.port}"
+__all__ = ["DeployError", "EdgeCluster", "ServiceEndpoint"]
 
 
 class EdgeCluster(abc.ABC):

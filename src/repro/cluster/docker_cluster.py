@@ -4,17 +4,21 @@ Phase mapping (fig. 4): Create = ``docker create`` per container,
 Scale Up = ``docker start`` per container, Scale Down = ``docker
 stop``, Remove = ``docker rm``.  Containers are labelled with
 ``edge.service`` so the controller can query them distinctly (§V).
+
+Phase ordering and idempotence guards come from the shared
+:class:`~repro.cluster.plan.PhasedCluster` driver; only the engine
+calls live here.
 """
 
 from __future__ import annotations
 
-import itertools
 import typing as _t
 
-from repro.cluster.base import DeployError, EdgeCluster, ServiceEndpoint
-from repro.cluster.plan import DeploymentPlan, PlannedContainer
+from repro.cluster.base import DeployError, EdgeCluster
+from repro.cluster.plan import DeploymentPlan, PhasedCluster, PlannedContainer
 from repro.containers.containerd import Container, ContainerSpec, ContainerState
 from repro.containers.docker import DockerEngine
+from repro.containers.image import ImageSpec
 from repro.containers.registry import Registry
 from repro.sim import Environment
 
@@ -22,7 +26,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.host import Host
 
 
-class DockerCluster(EdgeCluster):
+class DockerCluster(PhasedCluster, EdgeCluster):
     """Edge cluster backed by one Docker engine."""
 
     def __init__(
@@ -39,54 +43,43 @@ class DockerCluster(EdgeCluster):
         super().__init__(env, name, host, distance, capacity)
         self.engine = engine
         self.image_registry = image_registry
-        self._ports: dict[str, int] = {}
-        self._port_counter = itertools.count(host_port_base)
+        self._init_ports(host_port_base)
         self._containers: dict[str, list[Container]] = {}
 
-    # -- phases ------------------------------------------------------------
+    # -- runtime steps (driver hooks) --------------------------------------
 
-    def pull(self, plan: DeploymentPlan):
-        for image in plan.images:
-            yield from self.engine.pull(image, self.image_registry)
+    def _pull_image(self, image: ImageSpec):
+        yield from self.engine.pull(image, self.image_registry)
 
-    def create(self, plan: DeploymentPlan):
-        if plan.service_name in self._containers:
-            return
+    def _check_create(self, plan: DeploymentPlan) -> None:
         if not self.image_cached(plan):
             raise DeployError(
                 f"{self.name}: images of {plan.service_name!r} not pulled"
             )
-        host_port = self._ports.setdefault(
-            plan.service_name, next(self._port_counter)
-        )
+
+    def _create_instance(self, plan: DeploymentPlan, port: int):
         created: list[Container] = []
         for planned in plan.containers:
-            spec = self._container_spec(plan, planned, host_port)
+            spec = self._container_spec(plan, planned, port)
             container = yield from self.engine.create_container(spec)
             created.append(container)
         self._containers[plan.service_name] = created
 
-    def scale_up(self, plan: DeploymentPlan):
-        containers = self._containers.get(plan.service_name)
-        if not containers:
-            raise DeployError(
-                f"{self.name}: {plan.service_name!r} not created yet"
-            )
+    def _start_instance(self, plan: DeploymentPlan):
         # Containers start sequentially through the engine API, as the
         # controller's Docker client does.
-        for container in containers:
+        for container in self._containers[plan.service_name]:
             if container.state in (ContainerState.CREATED, ContainerState.EXITED):
                 yield from self.engine.start_container(container)
 
-    def scale_down(self, plan: DeploymentPlan):
+    def _stop_instance(self, plan: DeploymentPlan):
         for container in self._containers.get(plan.service_name, []):
             yield from self.engine.stop_container(container)
 
-    def remove(self, plan: DeploymentPlan):
+    def _remove_instance(self, plan: DeploymentPlan):
         containers = self._containers.pop(plan.service_name, [])
         for container in containers:
             yield from self.engine.remove_container(container)
-        self._ports.pop(plan.service_name, None)
 
     def delete_images(self, plan: DeploymentPlan):
         freed = 0
@@ -108,12 +101,6 @@ class DockerCluster(EdgeCluster):
             if any(c.state is ContainerState.RUNNING for c in containers):
                 count += 1
         return count
-
-    def endpoint(self, plan: DeploymentPlan) -> ServiceEndpoint | None:
-        port = self._ports.get(plan.service_name)
-        if port is None:
-            return None
-        return ServiceEndpoint(ip=self.ingress_host.ip, port=port)
 
     # -- helpers ------------------------------------------------------------------
 

@@ -8,15 +8,17 @@ cluster-neutral plan, applying the paper's automatic annotation rules
 (§V): unique name, ``matchLabels``, the ``edge.service`` label,
 ``replicas: 0``, and ``schedulerName`` when a Local Scheduler is
 configured for this cluster.
+
+Phase ordering and idempotence guards come from the shared
+:class:`~repro.cluster.plan.PhasedCluster` driver; only the API-server
+calls live here.
 """
 
 from __future__ import annotations
 
-import itertools
-import typing as _t
-
-from repro.cluster.base import DeployError, EdgeCluster, ServiceEndpoint
-from repro.cluster.plan import DeploymentPlan
+from repro.cluster.base import EdgeCluster
+from repro.cluster.plan import DeploymentPlan, PhasedCluster
+from repro.containers.image import ImageSpec
 from repro.k8s.client import KubernetesClient
 from repro.k8s.cluster import KubernetesCluster
 from repro.k8s.objects import (
@@ -33,7 +35,7 @@ from repro.k8s.objects import (
 from repro.sim import Environment
 
 
-class K8sEdgeCluster(EdgeCluster):
+class K8sEdgeCluster(PhasedCluster, EdgeCluster):
     """Edge cluster backed by a (simulated) Kubernetes cluster."""
 
     def __init__(
@@ -58,44 +60,32 @@ class K8sEdgeCluster(EdgeCluster):
         #: defaulting, server-side admission) — makes Create visible in
         #: fig. 12 as the paper's ~100 ms.
         self.create_overhead_s = create_overhead_s
-        self._node_ports: dict[str, int] = {}
-        self._port_counter = itertools.count(node_port_base)
+        self._init_ports(node_port_base)
         self._runtime = kubelet.runtime
 
-    # -- phases ------------------------------------------------------------
+    # -- runtime steps (driver hooks) --------------------------------------
 
-    def pull(self, plan: DeploymentPlan):
-        """Pre-pull images onto the node (kubelet would otherwise pull
-        lazily during pod startup)."""
-        for image in plan.images:
-            yield from self._runtime.pull(image, self.cluster.image_registry)
+    def _pull_image(self, image: ImageSpec):
+        # Pre-pull onto the node (kubelet would otherwise pull lazily
+        # during pod startup).
+        yield from self._runtime.pull(image, self.cluster.image_registry)
 
-    def create(self, plan: DeploymentPlan):
-        if self.is_created(plan):
-            return
-        node_port = self._node_ports.setdefault(
-            plan.service_name, next(self._port_counter)
-        )
+    def _create_instance(self, plan: DeploymentPlan, port: int):
         deployment = self.build_deployment(plan)
-        service = self.build_service(plan, node_port)
+        service = self.build_service(plan, port)
         yield self.env.timeout(self.create_overhead_s)
         yield from self.client.create_deployment(deployment)
         yield from self.client.create_service(service)
 
-    def scale_up(self, plan: DeploymentPlan):
-        if not self.is_created(plan):
-            raise DeployError(
-                f"{self.name}: {plan.service_name!r} not created yet"
-            )
+    def _start_instance(self, plan: DeploymentPlan):
         yield from self.client.scale_deployment(plan.service_name, 1)
 
-    def scale_down(self, plan: DeploymentPlan):
+    def _stop_instance(self, plan: DeploymentPlan):
         yield from self.client.scale_deployment(plan.service_name, 0)
 
-    def remove(self, plan: DeploymentPlan):
+    def _remove_instance(self, plan: DeploymentPlan):
         yield from self.client.delete_deployment(plan.service_name)
         yield from self.client.delete_service(plan.service_name)
-        self._node_ports.pop(plan.service_name, None)
 
     def delete_images(self, plan: DeploymentPlan):
         freed = 0
@@ -118,12 +108,6 @@ class K8sEdgeCluster(EdgeCluster):
             )
             != []
         )
-
-    def endpoint(self, plan: DeploymentPlan) -> ServiceEndpoint | None:
-        port = self._node_ports.get(plan.service_name)
-        if port is None:
-            return None
-        return ServiceEndpoint(ip=self.ingress_host.ip, port=port)
 
     def running_count(self) -> int:
         services = set()

@@ -19,6 +19,7 @@ Components (fig. 6/7):
 
 from repro.core.service_registry import EdgeService, ServiceRegistry
 from repro.core.annotator import AnnotationError, Annotator
+from repro.core.state import ControlPlaneState, InMemoryState, InstanceRecord
 from repro.core.flow_memory import FlowMemory, MemorizedFlow
 from repro.core.schedulers import (
     ClusterState,
@@ -36,7 +37,10 @@ __all__ = [
     "AnnotationError",
     "Annotator",
     "ClusterState",
+    "ControlPlaneState",
     "ControllerConfig",
+    "InMemoryState",
+    "InstanceRecord",
     "Decision",
     "DeploymentOutcome",
     "Dispatcher",

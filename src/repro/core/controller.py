@@ -23,6 +23,7 @@ from repro.core.dispatcher import Dispatcher, Resolution
 from repro.core.flow_memory import FlowMemory, MemorizedFlow
 from repro.core.schedulers.base import GlobalScheduler
 from repro.core.service_registry import EdgeService, ServiceRegistry
+from repro.core.state import ControlPlaneState, InMemoryState, InstanceRecord
 from repro.metrics import MetricsRecorder
 from repro.net.addressing import IPv4Address
 from repro.net.openflow import FlowMatch, Output, PacketIn, SetField
@@ -99,25 +100,29 @@ class EdgeController(SDNApp):
         config: ControllerConfig | None = None,
         calibration: Calibration = DEFAULT_CALIBRATION,
         recorder: MetricsRecorder | None = None,
+        state: ControlPlaneState | None = None,
+        on_instance_change: _t.Callable[[InstanceRecord], None] | None = None,
+        site: str = "local",
+        name: str = "edge-controller",
     ) -> None:
-        super().__init__(env, name="edge-controller")
+        super().__init__(env, name=name)
         self.registry = registry
         self.clusters = list(clusters)
         self.topology = topology
         self.config = config or ControllerConfig.from_calibration(calibration)
         self.recorder = recorder if recorder is not None else MetricsRecorder()
+        #: The typed control-plane state every stateful component
+        #: operates on: plain in-memory dicts here, a per-site replica
+        #: of the shared state in the federated configuration.
+        self.state = state if state is not None else InMemoryState()
         self.flow_memory = FlowMemory(
             env,
             idle_timeout_s=self.config.memory_idle_timeout_s,
             on_expire=self._on_memory_expire,
+            state=self.state,
         )
-        self.dispatcher = Dispatcher(
-            env,
-            clusters,
-            scheduler,
-            self.flow_memory,
-            recorder=self.recorder,
-            calibration=calibration,
+        self.dispatcher = self._make_dispatcher(
+            env, clusters, scheduler, calibration, on_instance_change, site
         )
         #: Optional request predictor for proactive deployment (§VII).
         self.predictor = None
@@ -133,6 +138,30 @@ class EdgeController(SDNApp):
             "cloud_fallbacks": 0,
             "scale_downs": 0,
         }
+
+    def _make_dispatcher(
+        self,
+        env: Environment,
+        clusters: _t.Sequence[EdgeCluster],
+        scheduler: GlobalScheduler,
+        calibration: Calibration,
+        on_instance_change: _t.Callable[[InstanceRecord], None] | None,
+        site: str,
+    ) -> Dispatcher:
+        """Build the dispatcher (overridden by the federated
+        :class:`~repro.core.federation.site.SiteController` to blend
+        remote instance views into scheduling)."""
+        return Dispatcher(
+            env,
+            clusters,
+            scheduler,
+            self.flow_memory,
+            recorder=self.recorder,
+            calibration=calibration,
+            state=self.state,
+            on_instance_change=on_instance_change,
+            site=site,
+        )
 
     def enable_proactive(
         self,
@@ -208,6 +237,18 @@ class EdgeController(SDNApp):
         cluster (the fig. 4 Scale Down / Remove phases).
         """
         self.registry.unregister(service)
+        self._remove_service_flows(service)
+        if remove_deployments:
+            for cluster in self.clusters:
+                if cluster.is_created(service.plan):
+                    self.env.process(
+                        self._teardown(cluster, service),
+                        name=f"teardown:{service.name}@{cluster.name}",
+                    )
+
+    def _remove_service_flows(self, service: EdgeService) -> None:
+        """Purge every trace of the service from the data plane this
+        controller owns: intercepts, per-client redirects, memory."""
         for datapath in self.datapaths.values():
             datapath.delete_flows(cookie=f"intercept:{service.name}")
         for client_ip, cookies in list(self._client_cookies.items()):
@@ -223,13 +264,6 @@ class EdgeController(SDNApp):
             cookies -= stale
         for flow in self.flow_memory.flows_for_service(service):
             self.flow_memory.forget(flow)
-        if remove_deployments:
-            for cluster in self.clusters:
-                if cluster.is_created(service.plan):
-                    self.env.process(
-                        self._teardown(cluster, service),
-                        name=f"teardown:{service.name}@{cluster.name}",
-                    )
 
     @staticmethod
     def _teardown(cluster: EdgeCluster, service: EdgeService):
@@ -477,17 +511,20 @@ class EdgeController(SDNApp):
         """Handle a client handover to a different switch.
 
         The testbed updates :attr:`topology` first; this method then
-        refreshes the client's infrastructure routes and removes its
-        stale redirect flows.  The memorized flows survive — the first
-        packet from the new location is a packet-in that the FlowMemory
-        fast path answers, re-establishing the redirection at the new
-        switch without consulting the scheduler.
+        refreshes the client's infrastructure routes, removes its stale
+        redirect flows, and forgets exactly this client's memorized
+        flows — they were resolved for the old location, so the first
+        packet from the new switch goes back through the scheduler
+        instead of replaying a possibly far-away instance from memory.
+        Other clients' flows (and the idle-expiry machinery) are
+        untouched.
         """
         self.install_host_routes(client_ip)
         for dpid, cookie in self._client_cookies.pop(client_ip, set()):
             datapath = self.datapaths.get(dpid)
             if datapath is not None:
                 datapath.delete_flows(cookie=cookie)
+        self.flow_memory.forget_client(client_ip)
 
     # -- idle scale-down --------------------------------------------------------------------
 

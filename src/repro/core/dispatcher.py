@@ -35,6 +35,7 @@ from repro.core.schedulers.base import (
     GlobalScheduler,
 )
 from repro.core.service_registry import EdgeService
+from repro.core.state import ControlPlaneState, InMemoryState, InstanceRecord
 from repro.faults.breaker import BreakerState, CircuitBreaker
 from repro.metrics import MetricsRecorder
 from repro.services.calibration import Calibration, DEFAULT_CALIBRATION
@@ -108,11 +109,25 @@ class Dispatcher:
         breaker_enabled: bool = True,
         breaker_threshold: int = 3,
         breaker_cooldown_s: float = 30.0,
+        state: ControlPlaneState | None = None,
+        on_instance_change: _t.Callable[[InstanceRecord], None] | None = None,
+        site: str = "local",
     ) -> None:
         self.env = env
         self.clusters = list(clusters)
         self.scheduler = scheduler
         self.flow_memory = flow_memory
+        #: All mutable dispatcher state lives here (breakers and client
+        #: locations); the federated configuration hands every site
+        #: component one shared replica.
+        self.state = state if state is not None else InMemoryState()
+        #: Publication hook for instance-state changes (None on the
+        #: single-controller path: one ``is not None`` check per
+        #: deployment is the whole cost).  The federated configuration
+        #: uses it to announce running/stopped instances to peer sites.
+        self.on_instance_change = on_instance_change
+        #: Site identifier stamped into published instance records.
+        self.site = site
         self.recorder = recorder if recorder is not None else MetricsRecorder()
         self.calibration = calibration
         self.ready_timeout_s = ready_timeout_s
@@ -129,21 +144,38 @@ class Dispatcher:
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown_s = breaker_cooldown_s
         #: cluster name -> circuit breaker; created lazily on the first
-        #: deployment failure, so the dict stays empty (and state
-        #: gathering pays nothing) on healthy runs.
-        self.breakers: dict[str, CircuitBreaker] = {}
+        #: deployment failure, so the mapping stays empty (and state
+        #: gathering pays nothing) on healthy runs.  Breakers are
+        #: site-local state: bind the state's mapping once and use it
+        #: directly.
+        self.breakers = self.state.breakers
         #: (service name, cluster name) -> in-flight deployment process.
         self._inflight: dict[tuple[str, str], Process] = {}
-        #: client ip -> last known location.
-        self.client_locations: dict[_t.Any, ClientInfo] = {}
+
+    @property
+    def client_locations(self) -> _t.MutableMapping[_t.Any, ClientInfo]:
+        """Last known client locations (view into the state layer)."""
+        return self.state.client_map
 
     # -- client tracking -----------------------------------------------------
 
     def note_client(self, ip, datapath_id: int, in_port: int) -> ClientInfo:
+        """Record a client observation; invalidate its memorized flows
+        when it shows up behind a *different* switch.
+
+        A moved client's memorized flows were resolved for its old
+        location, so replaying them from memory would pin the client to
+        a possibly far-away instance until idle expiry.  Forgetting
+        exactly the moved client's flows (nobody else's) forces a fresh
+        scheduler resolution on its next request.
+        """
+        previous = self.state.client(ip)
         info = ClientInfo(
             ip=ip, datapath_id=datapath_id, in_port=in_port, last_seen=self.env.now
         )
-        self.client_locations[ip] = info
+        self.state.put_client(info)
+        if previous is not None and previous.datapath_id != datapath_id:
+            self.flow_memory.forget_client(ip)
         return info
 
     # -- state gathering ----------------------------------------------------------
@@ -376,7 +408,28 @@ class Dispatcher:
             breaker = self.breakers.get(cluster.name)
             if breaker is not None:
                 breaker.record_success()
+        if self.on_instance_change is not None:
+            self._publish_instance(service, cluster, running=True)
         return outcome
+
+    def _publish_instance(
+        self, service: EdgeService, cluster: EdgeCluster, running: bool
+    ) -> None:
+        """Announce an instance transition through ``on_instance_change``
+        (federated configuration only; never called when the hook is
+        unset)."""
+        assert self.on_instance_change is not None
+        self.on_instance_change(
+            InstanceRecord(
+                service_name=service.name,
+                cluster_name=cluster.name,
+                site=self.site,
+                running=running,
+                endpoint=cluster.endpoint(service.plan) if running else None,
+                distance=cluster.distance,
+                observed_at=self.env.now,
+            )
+        )
 
     def _attempt_phase(self, outcome: DeploymentOutcome, phase: str, make_call):
         """Run one deployment phase with bounded, jittered retries
@@ -457,6 +510,11 @@ class Dispatcher:
         for cluster in self.clusters:
             if cluster.is_running(service.plan):
                 self.env.process(
-                    cluster.scale_down(service.plan),
+                    self._scale_down(service, cluster),
                     name=f"scaledown:{service.name}@{cluster.name}",
                 )
+
+    def _scale_down(self, service: EdgeService, cluster: EdgeCluster):
+        yield from cluster.scale_down(service.plan)
+        if self.on_instance_change is not None:
+            self._publish_instance(service, cluster, running=False)

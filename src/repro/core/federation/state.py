@@ -1,0 +1,356 @@
+"""The shared control-plane state: hub, per-site replicas, versioning.
+
+The federated control plane replicates three stores across sites —
+registered services, client locations, and instance views — through a
+logically centralised **shared-state service** (etcd/Redis in a real
+deployment, :class:`SharedStateHub` here).  Memorized flows and
+circuit breakers stay site-local (each site owns its switches and its
+failure detectors outright).
+
+Consistency model (DESIGN.md §9):
+
+* Every replicated entry is a **last-writer-wins register** stamped
+  with a :class:`VersionStamp` — a Lamport clock paired with the
+  writing site's id, compared lexicographically, so concurrent writes
+  resolve identically (and deterministically) everywhere.
+* A site **reads its own writes** immediately: local writes apply to
+  the site replica before they start propagating.
+* Propagation is asynchronous with explicit simulated latency:
+  ``propagation_delay_s`` one-way to the hub, the same again from the
+  hub to every other replica — remote sites observe a write after two
+  one-way delays.  Until then their views are *stale*, which the
+  dispatcher surfaces as ``stale_redirects`` metrics rather than
+  hiding.
+* A **partition** between a site and the hub (``ReplicaLink.down``)
+  buffers traffic in both directions — the site's outbound writes in
+  the link's outbox, the hub's fan-out in a per-site inbox — and the
+  site degrades to serving from its local view.  Healing the link
+  drains both buffers in FIFO order, each message paying the normal
+  one-way delay; last-writer-wins stamps make the replay convergent.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.state.base import ControlPlaneState, InstanceRecord
+from repro.sim import Environment
+
+if _t.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.flow_memory import MemorizedFlow
+    from repro.core.schedulers.base import ClientInfo
+    from repro.core.service_registry import EdgeService
+    from repro.faults.breaker import CircuitBreaker
+    from repro.net.addressing import IPv4Address
+
+__all__ = ["ReplicaLink", "SharedStateHub", "SiteReplica", "VersionStamp"]
+
+
+class VersionStamp(_t.NamedTuple):
+    """Lamport-clock version of one replicated entry.
+
+    Compared lexicographically: higher Lamport time wins, site id
+    breaks ties — every replica resolves a conflict the same way.
+    """
+
+    lamport: int
+    site: str
+
+
+#: (store domain, entry key) — the unit of versioning.
+StateKey = _t.Tuple[str, _t.Any]
+
+#: One replicated write in flight: domain, key, value, stamp.
+StateUpdate = _t.Tuple[str, _t.Any, _t.Any, VersionStamp]
+
+
+class ReplicaLink:
+    """The (partitionable) channel between one site and the hub.
+
+    Duck-types the ``down`` flag of a data-plane link so the fault
+    injector's :class:`~repro.faults.plan.LinkPartition` can target it
+    by name via the testbed's ``named_links`` table.  While down,
+    site-to-hub writes queue in :attr:`outbox` and hub-to-site
+    deliveries queue in :attr:`inbox`; setting ``down = False`` drains
+    both (FIFO, each message paying the normal one-way delay).
+    """
+
+    def __init__(
+        self, env: Environment, hub: "SharedStateHub", site: str
+    ) -> None:
+        self.env = env
+        self.hub = hub
+        self.site = site
+        self._down = False
+        self.outbox: list[StateUpdate] = []
+        self.inbox: list[StateUpdate] = []
+        #: Diagnostics: how often the link was partitioned.
+        self.partitions = 0
+
+    @property
+    def down(self) -> bool:
+        return self._down
+
+    @down.setter
+    def down(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._down:
+            return
+        self._down = value
+        if value:
+            self.partitions += 1
+        else:
+            self.hub.on_link_restored(self.site)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "down" if self._down else "up"
+        return f"<ReplicaLink {self.site}<->shared-state {state}>"
+
+
+class SharedStateHub:
+    """The logically centralised shared-state service.
+
+    Holds the authoritative (most recently arrived, LWW-resolved) copy
+    of every replicated entry and fans writes out to all other site
+    replicas.  The authoritative versions also let the metrics layer
+    ask "was this site's view stale when it decided?" without
+    perturbing the data path.
+    """
+
+    def __init__(
+        self, env: Environment, propagation_delay_s: float = 0.025
+    ) -> None:
+        if propagation_delay_s < 0:
+            raise ValueError("propagation_delay_s must be >= 0")
+        self.env = env
+        #: One-way site -> hub (and hub -> site) latency.
+        self.propagation_delay_s = float(propagation_delay_s)
+        self.replicas: dict[str, SiteReplica] = {}
+        self._values: dict[StateKey, _t.Any] = {}
+        self._versions: dict[StateKey, VersionStamp] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def connect(self, site: str) -> "SiteReplica":
+        """Create (and register) the replica for one site."""
+        if site in self.replicas:
+            raise ValueError(f"site {site!r} already connected")
+        replica = SiteReplica(self.env, site, ReplicaLink(self.env, self, site))
+        self.replicas[site] = replica
+        return replica
+
+    # -- write propagation -------------------------------------------------
+
+    def submit(self, origin: str, update: StateUpdate) -> None:
+        """A site's write arriving over its (up) link."""
+        self.env.call_later(
+            self.propagation_delay_s, self._receive, origin, update
+        )
+
+    def _receive(self, origin: str, update: StateUpdate) -> None:
+        domain, key, value, stamp = update
+        state_key = (domain, key)
+        current = self._versions.get(state_key)
+        if current is None or stamp > current:
+            self._versions[state_key] = stamp
+            self._values[state_key] = value
+        for site, replica in self.replicas.items():
+            if site == origin:
+                continue
+            link = replica.link
+            if link.down:
+                link.inbox.append(update)
+            else:
+                self.env.call_later(
+                    self.propagation_delay_s, replica.apply_remote, update
+                )
+
+    def on_link_restored(self, site: str) -> None:
+        """Drain both directions of a healed site link."""
+        replica = self.replicas[site]
+        link = replica.link
+        outbox, link.outbox = link.outbox, []
+        for update in outbox:
+            self.submit(site, update)
+        inbox, link.inbox = link.inbox, []
+        for update in inbox:
+            self.env.call_later(
+                self.propagation_delay_s, replica.apply_remote, update
+            )
+
+    # -- authoritative reads (metrics / tests) -----------------------------
+
+    def version_of(self, domain: str, key: _t.Any) -> VersionStamp | None:
+        return self._versions.get((domain, key))
+
+    def value_of(self, domain: str, key: _t.Any) -> _t.Any:
+        return self._values.get((domain, key))
+
+
+class SiteReplica(ControlPlaneState):
+    """One site's replica of the shared control-plane state.
+
+    Implements :class:`~repro.core.state.ControlPlaneState`, so every
+    existing component (registry, flow memory, dispatcher, controller)
+    runs unmodified against it.  Replicated writes apply locally first
+    (read-your-writes), then travel ``site -> hub -> other sites`` with
+    one one-way delay per leg; incoming remote writes apply through
+    last-writer-wins version comparison.
+    """
+
+    def __init__(self, env: Environment, site: str, link: ReplicaLink) -> None:
+        self.env = env
+        self.site = site
+        self.link = link
+        self._clock = 0
+        self._versions: dict[StateKey, VersionStamp] = {}
+        # Replicated stores (local views).
+        self._by_address: dict[tuple[IPv4Address, int], EdgeService] = {}
+        self._by_name: dict[str, EdgeService] = {}
+        self._clients: dict[_t.Any, ClientInfo] = {}
+        self._instances: dict[tuple[str, str, str], InstanceRecord] = {}
+        # Site-local stores.
+        self._flows: dict[tuple[IPv4Address, str], MemorizedFlow] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: Fired when a *remote* write adds/removes a service —
+        #: the site controller uses these to (un)install intercepts.
+        self.on_service_added: _t.Callable[[EdgeService], None] | None = None
+        self.on_service_removed: _t.Callable[[EdgeService], None] | None = None
+
+    # -- write plumbing ----------------------------------------------------
+
+    def _local_write(self, domain: str, key: _t.Any, value: _t.Any) -> None:
+        self._clock += 1
+        stamp = VersionStamp(self._clock, self.site)
+        self._versions[(domain, key)] = stamp
+        self._apply(domain, key, value, remote=False)
+        update: StateUpdate = (domain, key, value, stamp)
+        if self.link.down:
+            self.link.outbox.append(update)
+        else:
+            self.link.hub.submit(self.site, update)
+
+    def apply_remote(self, update: StateUpdate) -> None:
+        domain, key, value, stamp = update
+        if stamp.lamport > self._clock:
+            self._clock = stamp.lamport
+        state_key = (domain, key)
+        current = self._versions.get(state_key)
+        if current is not None and stamp <= current:
+            return  # stale or duplicate delivery: LWW keeps ours
+        self._versions[state_key] = stamp
+        self._apply(domain, key, value, remote=True)
+
+    def _apply(
+        self, domain: str, key: _t.Any, value: _t.Any, remote: bool
+    ) -> None:
+        if domain == "service":
+            if value is None:
+                service = self._by_address.pop(key, None)
+                if service is not None:
+                    self._by_name.pop(service.name, None)
+                    if remote and self.on_service_removed is not None:
+                        self.on_service_removed(service)
+            else:
+                self._by_address[key] = value
+                self._by_name[value.name] = value
+                if remote and self.on_service_added is not None:
+                    self.on_service_added(value)
+        elif domain == "client":
+            self._clients[key] = value
+        elif domain == "instance":
+            self._instances[key] = value
+        else:  # pragma: no cover - new domains must be wired here
+            raise ValueError(f"unknown state domain {domain!r}")
+
+    # -- staleness introspection (metrics only) ----------------------------
+
+    def instance_is_stale(
+        self, service_name: str, site: str, cluster_name: str
+    ) -> bool:
+        """Has the hub accepted a newer version of this instance entry
+        than the one this site decided on?  (Metrics only — the data
+        path never peeks at the hub.)"""
+        key = (service_name, site, cluster_name)
+        authoritative = self.link.hub.version_of("instance", key)
+        if authoritative is None:
+            return False
+        return self._versions.get(("instance", key)) != authoritative
+
+    # -- ControlPlaneState: services ---------------------------------------
+
+    def put_service(self, service: "EdgeService") -> None:
+        self._local_write("service", service.address, service)
+
+    def remove_service(self, service: "EdgeService") -> None:
+        self._local_write("service", service.address, None)
+
+    def service_at(self, ip: "IPv4Address", port: int) -> "EdgeService | None":
+        return self._by_address.get((ip, port))
+
+    def service_named(self, name: str) -> "EdgeService | None":
+        return self._by_name.get(name)
+
+    def services(self) -> "list[EdgeService]":
+        return sorted(self._by_address.values(), key=lambda s: s.name)
+
+    def service_count(self) -> int:
+        return len(self._by_address)
+
+    # -- ControlPlaneState: client locations -------------------------------
+
+    def put_client(self, info: "ClientInfo") -> None:
+        """Record a client observation.
+
+        Only *location changes* (new client, or a different datapath)
+        replicate — per-packet ``last_seen`` refreshes stay local, so
+        steady-state traffic costs no propagation events.
+        """
+        previous = self._clients.get(info.ip)
+        if previous is None or previous.datapath_id != info.datapath_id:
+            self._local_write("client", info.ip, info)
+        else:
+            self._clients[info.ip] = info
+
+    def client(self, ip: object) -> "ClientInfo | None":
+        return self._clients.get(ip)
+
+    @property
+    def client_map(self) -> "_t.MutableMapping[_t.Any, ClientInfo]":
+        return self._clients
+
+    # -- ControlPlaneState: instance views ---------------------------------
+
+    def publish_instance(self, record: InstanceRecord) -> None:
+        key = (record.service_name, record.site, record.cluster_name)
+        self._local_write("instance", key, record)
+
+    def instance(
+        self, service_name: str, site: str, cluster_name: str
+    ) -> InstanceRecord | None:
+        return self._instances.get((service_name, site, cluster_name))
+
+    def instances_for(self, service_name: str) -> list[InstanceRecord]:
+        return sorted(
+            (
+                record
+                for record in self._instances.values()
+                if record.service_name == service_name
+            ),
+            key=lambda r: (r.site, r.cluster_name),
+        )
+
+    # -- ControlPlaneState: site-local stores ------------------------------
+
+    @property
+    def flows(
+        self,
+    ) -> "_t.MutableMapping[tuple[IPv4Address, str], MemorizedFlow]":
+        return self._flows
+
+    @property
+    def breakers(self) -> "_t.MutableMapping[str, CircuitBreaker]":
+        return self._breakers
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SiteReplica {self.site} clock={self._clock}>"

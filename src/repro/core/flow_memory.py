@@ -16,6 +16,7 @@ import typing as _t
 
 from repro.cluster.base import ServiceEndpoint
 from repro.core.service_registry import EdgeService
+from repro.core.state import ControlPlaneState, InMemoryState
 from repro.net.addressing import IPv4Address
 from repro.sim import Environment
 
@@ -55,13 +56,18 @@ class FlowMemory:
         idle_timeout_s: float = 60.0,
         sweep_interval_s: float = 1.0,
         on_expire: _t.Callable[[MemorizedFlow], None] | None = None,
+        state: ControlPlaneState | None = None,
     ) -> None:
         if idle_timeout_s <= 0:
             raise ValueError("idle_timeout_s must be positive")
         self.env = env
         self.idle_timeout_s = float(idle_timeout_s)
         self.on_expire = on_expire
-        self._flows: dict[tuple[IPv4Address, str], MemorizedFlow] = {}
+        # Memorized flows are *site-local* control-plane state: the
+        # state object owns the mapping, we bind it once (it is stable
+        # for the state's lifetime) and use it directly on the hot path.
+        self.state = state if state is not None else InMemoryState()
+        self._flows = self.state.flows
         # Sweep via a self-rechaining slim callback instead of a
         # generator process: one heap entry per tick, no suspended
         # generator frame.  The tick times accumulate by repeated float
@@ -111,6 +117,20 @@ class FlowMemory:
 
     def forget(self, flow: MemorizedFlow) -> None:
         self._flows.pop(flow.key, None)
+
+    def forget_client(self, client_ip: IPv4Address) -> int:
+        """Drop every memorized flow of one client (mobility
+        invalidation: the client moved switches, so its memorized
+        resolutions are stale).  Deliberately does **not** fire
+        ``on_expire`` — the instances are not idle, the client is about
+        to re-resolve and may land on them again.  Returns the number
+        of flows forgotten."""
+        stale = [
+            flow for flow in self._flows.values() if flow.client_ip == client_ip
+        ]
+        for flow in stale:
+            self._flows.pop(flow.key, None)
+        return len(stale)
 
     # -- service-level queries -------------------------------------------------
 

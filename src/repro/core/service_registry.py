@@ -12,6 +12,7 @@ import typing as _t
 
 from repro.cluster.plan import DeploymentPlan
 from repro.core.annotator import Annotator
+from repro.core.state import ControlPlaneState, InMemoryState
 from repro.net.addressing import IPv4Address
 from repro.net.packet import HTTPRequest
 
@@ -40,12 +41,21 @@ class EdgeService:
 
 
 class ServiceRegistry:
-    """All services the platform provider has registered."""
+    """All services the platform provider has registered.
 
-    def __init__(self, annotator: Annotator) -> None:
+    The registrations themselves live in the control-plane
+    :class:`~repro.core.state.ControlPlaneState` (replicated across
+    sites in the federated configuration); this class holds only the
+    annotation/validation logic around them.
+    """
+
+    def __init__(
+        self,
+        annotator: Annotator,
+        state: ControlPlaneState | None = None,
+    ) -> None:
         self.annotator = annotator
-        self._by_address: dict[tuple[IPv4Address, int], EdgeService] = {}
-        self._by_name: dict[str, EdgeService] = {}
+        self.state = state if state is not None else InMemoryState()
 
     def register(
         self,
@@ -55,8 +65,7 @@ class ServiceRegistry:
         template_key: str | None = None,
     ) -> EdgeService:
         """Register a service definition under a cloud address."""
-        address = (cloud_ip, port)
-        if address in self._by_address:
+        if self.state.service_at(cloud_ip, port) is not None:
             raise ValueError(f"service at {cloud_ip}:{port} already registered")
         plan, annotated = self.annotator.annotate(definition_yaml, cloud_ip, port)
         service = EdgeService(
@@ -68,23 +77,21 @@ class ServiceRegistry:
             annotated_yaml=annotated,
             template_key=template_key,
         )
-        self._by_address[address] = service
-        self._by_name[service.name] = service
+        self.state.put_service(service)
         return service
 
     def unregister(self, service: EdgeService) -> None:
-        self._by_address.pop(service.address, None)
-        self._by_name.pop(service.name, None)
+        self.state.remove_service(service)
 
     def lookup(self, ip: IPv4Address, port: int) -> EdgeService | None:
         """The service registered at ``ip:port``, if any."""
-        return self._by_address.get((ip, port))
+        return self.state.service_at(ip, port)
 
     def by_name(self, name: str) -> EdgeService | None:
-        return self._by_name.get(name)
+        return self.state.service_named(name)
 
     def all(self) -> list[EdgeService]:
-        return sorted(self._by_address.values(), key=lambda s: s.name)
+        return self.state.services()
 
     def __len__(self) -> int:
-        return len(self._by_address)
+        return self.state.service_count()

@@ -1,0 +1,12 @@
+"""Typed control-plane state (DESIGN.md §9).
+
+:class:`ControlPlaneState` is the interface every mutable controller
+store hides behind; :class:`InMemoryState` is the single-controller
+implementation.  The federated, replicated implementation lives in
+:mod:`repro.core.federation.state`.
+"""
+
+from repro.core.state.base import ControlPlaneState, InstanceRecord
+from repro.core.state.memory import InMemoryState
+
+__all__ = ["ControlPlaneState", "InMemoryState", "InstanceRecord"]

@@ -1,0 +1,137 @@
+"""The typed control-plane state interface.
+
+Every piece of *mutable* controller state — registered services,
+client locations, memorized flows, circuit breakers, and published
+instance views — lives behind :class:`ControlPlaneState`.  The
+components (:class:`~repro.core.service_registry.ServiceRegistry`,
+:class:`~repro.core.flow_memory.FlowMemory`,
+:class:`~repro.core.dispatcher.Dispatcher`) hold *logic only* and
+operate on whichever state implementation they are handed:
+
+* :class:`~repro.core.state.memory.InMemoryState` — plain dicts, the
+  single-controller configuration (today's behaviour, bit for bit);
+* :class:`~repro.core.federation.state.SiteReplica` — a per-site
+  replica of the shared control plane with simulated propagation
+  latency and last-writer-wins versioning (the distributed
+  configuration of DESIGN.md §9).
+
+The split follows the consistency needs of each store:
+
+* **Replicated stores** (services, client locations, instance views)
+  are accessed through *methods*, so a replica can version writes and
+  schedule their propagation.
+* **Site-local stores** (memorized flows, circuit breakers) are
+  exposed as raw mutable mappings — each site owns its switches'
+  flows and its own failure detectors outright, so there is nothing
+  to replicate and the owning component may bind the mapping once and
+  use it directly on the hot path.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.cluster.plan import ServiceEndpoint
+    from repro.core.flow_memory import MemorizedFlow
+    from repro.core.schedulers.base import ClientInfo
+    from repro.core.service_registry import EdgeService
+    from repro.faults.breaker import CircuitBreaker
+    from repro.net.addressing import IPv4Address
+
+__all__ = ["ControlPlaneState", "InstanceRecord"]
+
+
+@dataclasses.dataclass(frozen=True)
+class InstanceRecord:
+    """One published service-instance observation.
+
+    Sites publish these when a deployment finishes or an instance is
+    scaled down; remote sites read them (possibly stale) to consider
+    far-away running instances in their FAST/BEST decisions.
+    """
+
+    service_name: str
+    cluster_name: str
+    #: Identifier of the site operating the cluster.
+    site: str
+    running: bool
+    endpoint: "ServiceEndpoint | None"
+    #: The cluster's latency tier as seen from its *own* site.
+    distance: int
+    #: Simulated time of the observation at the publishing site.
+    observed_at: float
+
+
+class ControlPlaneState(abc.ABC):
+    """All mutable control-plane state, behind one typed interface."""
+
+    # -- registered services (replicated) ----------------------------------
+
+    @abc.abstractmethod
+    def put_service(self, service: "EdgeService") -> None:
+        """Add a registered service (last writer wins on conflicts)."""
+
+    @abc.abstractmethod
+    def remove_service(self, service: "EdgeService") -> None:
+        """Drop a service registration (idempotent)."""
+
+    @abc.abstractmethod
+    def service_at(self, ip: "IPv4Address", port: int) -> "EdgeService | None":
+        """The service registered at ``ip:port``, if any."""
+
+    @abc.abstractmethod
+    def service_named(self, name: str) -> "EdgeService | None":
+        """The service with worldwide-unique ``name``, if any."""
+
+    @abc.abstractmethod
+    def services(self) -> "list[EdgeService]":
+        """All registered services, sorted by name."""
+
+    @abc.abstractmethod
+    def service_count(self) -> int:
+        """Number of registered services."""
+
+    # -- client locations (replicated) -------------------------------------
+
+    @abc.abstractmethod
+    def put_client(self, info: "ClientInfo") -> None:
+        """Record a client's latest observed location."""
+
+    @abc.abstractmethod
+    def client(self, ip: object) -> "ClientInfo | None":
+        """Last known location of ``ip``, if any."""
+
+    @property
+    @abc.abstractmethod
+    def client_map(self) -> "_t.MutableMapping[_t.Any, ClientInfo]":
+        """The local view of client locations (read-mostly access)."""
+
+    # -- instance views (replicated) ----------------------------------------
+
+    @abc.abstractmethod
+    def publish_instance(self, record: InstanceRecord) -> None:
+        """Publish an instance observation for remote consumption."""
+
+    @abc.abstractmethod
+    def instances_for(self, service_name: str) -> list[InstanceRecord]:
+        """All known instance observations for ``service_name``,
+        ordered deterministically by (site, cluster name)."""
+
+    # -- memorized flows (site-local) ----------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def flows(
+        self,
+    ) -> "_t.MutableMapping[tuple[IPv4Address, str], MemorizedFlow]":
+        """This site's memorized (client, service) flows."""
+
+    # -- circuit breakers (site-local) ---------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def breakers(self) -> "_t.MutableMapping[str, CircuitBreaker]":
+        """This site's per-cluster circuit breakers."""

@@ -1,0 +1,98 @@
+"""The single-controller state implementation: plain dicts.
+
+Exactly the dictionaries the monolithic controller components used to
+own privately, moved behind :class:`ControlPlaneState`.  No
+versioning, no propagation — every read observes every prior write
+immediately, and iteration order is dict insertion order, so the
+single-controller configuration behaves bit-for-bit as before the
+state extraction.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.state.base import ControlPlaneState, InstanceRecord
+
+if _t.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.flow_memory import MemorizedFlow
+    from repro.core.schedulers.base import ClientInfo
+    from repro.core.service_registry import EdgeService
+    from repro.faults.breaker import CircuitBreaker
+    from repro.net.addressing import IPv4Address
+
+__all__ = ["InMemoryState"]
+
+
+class InMemoryState(ControlPlaneState):
+    """All control-plane state in local dictionaries."""
+
+    def __init__(self) -> None:
+        self._by_address: dict[tuple[IPv4Address, int], EdgeService] = {}
+        self._by_name: dict[str, EdgeService] = {}
+        self._clients: dict[_t.Any, ClientInfo] = {}
+        self._instances: dict[tuple[str, str, str], InstanceRecord] = {}
+        self._flows: dict[tuple[IPv4Address, str], MemorizedFlow] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    # -- registered services ------------------------------------------------
+
+    def put_service(self, service: "EdgeService") -> None:
+        self._by_address[service.address] = service
+        self._by_name[service.name] = service
+
+    def remove_service(self, service: "EdgeService") -> None:
+        self._by_address.pop(service.address, None)
+        self._by_name.pop(service.name, None)
+
+    def service_at(self, ip: "IPv4Address", port: int) -> "EdgeService | None":
+        return self._by_address.get((ip, port))
+
+    def service_named(self, name: str) -> "EdgeService | None":
+        return self._by_name.get(name)
+
+    def services(self) -> "list[EdgeService]":
+        return sorted(self._by_address.values(), key=lambda s: s.name)
+
+    def service_count(self) -> int:
+        return len(self._by_address)
+
+    # -- client locations -----------------------------------------------------
+
+    def put_client(self, info: "ClientInfo") -> None:
+        self._clients[info.ip] = info
+
+    def client(self, ip: object) -> "ClientInfo | None":
+        return self._clients.get(ip)
+
+    @property
+    def client_map(self) -> "_t.MutableMapping[_t.Any, ClientInfo]":
+        return self._clients
+
+    # -- instance views --------------------------------------------------------
+
+    def publish_instance(self, record: InstanceRecord) -> None:
+        key = (record.service_name, record.site, record.cluster_name)
+        self._instances[key] = record
+
+    def instances_for(self, service_name: str) -> list[InstanceRecord]:
+        return sorted(
+            (
+                record
+                for record in self._instances.values()
+                if record.service_name == service_name
+            ),
+            key=lambda r: (r.site, r.cluster_name),
+        )
+
+    # -- site-local stores ------------------------------------------------------
+
+    @property
+    def flows(
+        self,
+    ) -> "_t.MutableMapping[tuple[IPv4Address, str], MemorizedFlow]":
+        return self._flows
+
+    @property
+    def breakers(self) -> "_t.MutableMapping[str, CircuitBreaker]":
+        return self._breakers

@@ -35,6 +35,7 @@ from repro.experiments.extension_proactive import run_extension_proactive
 from repro.experiments.extension_load import run_extension_load
 from repro.experiments.extension_breakdown import run_extension_breakdown
 from repro.experiments.extension_hierarchy import run_extension_hierarchy
+from repro.experiments.extension_d1_federation import run_extension_d1_federation
 
 #: Name -> runner, for the CLI and docs generation.
 EXPERIMENTS = {
@@ -58,6 +59,7 @@ EXPERIMENTS = {
     "extension_load": run_extension_load,
     "extension_breakdown": run_extension_breakdown,
     "extension_hierarchy": run_extension_hierarchy,
+    "extension_federation": run_extension_d1_federation,
     "resilience": run_resilience,
 }
 
@@ -77,6 +79,7 @@ __all__ = [
     "run_fig14_wait_after_scale_up",
     "run_fig15_wait_after_create_scale_up",
     "run_extension_breakdown",
+    "run_extension_d1_federation",
     "run_extension_hierarchy",
     "run_extension_load",
     "run_extension_proactive",

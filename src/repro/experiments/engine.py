@@ -69,6 +69,11 @@ FAST_KWARGS: dict[str, dict[str, _t.Any]] = {
     "extension_load": {"concurrency_levels": [1, 8], "rounds": 2},
     "extension_breakdown": {"n_instances": 3},
     "extension_hierarchy": {},
+    "extension_federation": {
+        "site_counts": [1, 2],
+        "delays": [0.025],
+        "fixed_sites": 2,
+    },
     "resilience": {"failure_rates": [0.0, 0.9], "n_rounds": 4},
 }
 

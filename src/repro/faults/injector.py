@@ -163,11 +163,21 @@ class Injector:
         # controller replays the datapath join to reinstall the
         # infrastructure rules (redirects reinstall lazily on the next
         # table miss, via FlowMemory).
-        controller = self.testbed.controller
-        datapath = controller.datapaths.get(switch.datapath_id)
-        if datapath is not None:
-            controller.on_datapath_join(datapath)
+        for controller in self._controllers():
+            datapath = controller.datapaths.get(switch.datapath_id)
+            if datapath is not None:
+                controller.on_datapath_join(datapath)
+                break
         self._note(f"node-restore {switch.name}")
+
+    def _controllers(self) -> list[_t.Any]:
+        """Every controller app on the testbed (federated testbeds own
+        one per site; the classic testbed exposes a single one)."""
+        controllers = getattr(self.testbed, "controllers", None)
+        if controllers:
+            return list(controllers)
+        controller = getattr(self.testbed, "controller", None)
+        return [controller] if controller is not None else []
 
     # -- link partition ----------------------------------------------------
 
@@ -286,6 +296,15 @@ class Injector:
 
     def _link_between(self, a: str, b: str) -> "Link":
         wanted = {a, b}
+        # Logical links first: testbeds can expose channels that are
+        # not host/switch wires (e.g. a site's shared-state link in the
+        # federated control plane) under explicit name pairs.  Anything
+        # with a ``down`` flag partitions.
+        named = getattr(self.testbed, "named_links", None)
+        if named:
+            for pair, link in named.items():
+                if set(pair) == wanted:
+                    return link
         for link in self._all_links():
             names = {
                 link.end_a.iface.device.name,

@@ -127,7 +127,21 @@ class SDNApp:
     def attach(
         self, switch: OpenFlowSwitch, latency_s: float = 200e-6
     ) -> Datapath:
-        """Connect a switch to this controller via a new channel."""
+        """Connect a switch to this controller via a new channel.
+
+        A switch belongs to exactly one controller: re-attaching a
+        switch that is already bound to a *different* app is rejected
+        instead of silently rebinding (the old controller would keep a
+        stale datapath handle).  In the federated control plane every
+        site controller owns its gNB switches exclusively.
+        """
+        existing = getattr(switch, "channel", None)
+        bound_to = getattr(existing, "controller", None)
+        if bound_to is not None and bound_to is not self:
+            raise ValueError(
+                f"switch {switch.name!r} is already bound to controller "
+                f"{bound_to.name!r}; detach it first"
+            )
         channel = ControlChannel(self.env, latency_s=latency_s)
         channel.bind(switch, self)
         switch.channel = channel
@@ -135,6 +149,15 @@ class SDNApp:
         self.datapaths[switch.datapath_id] = datapath
         self.on_datapath_join(datapath)
         return datapath
+
+    def detach(self, switch: OpenFlowSwitch) -> None:
+        """Disconnect a switch, freeing it to attach elsewhere."""
+        datapath = self.datapaths.pop(switch.datapath_id, None)
+        if datapath is None:
+            raise ValueError(
+                f"switch {switch.name!r} is not attached to {self.name!r}"
+            )
+        switch.channel = None
 
     # -- dispatch ------------------------------------------------------------
 

@@ -1,5 +1,16 @@
 """Testbed assembly: the Carinthian Computing Continuum (C³) model."""
 
 from repro.testbed.c3 import C3Testbed, TestbedConfig
+from repro.testbed.federation import (
+    FederatedTestbed,
+    FederationConfig,
+    Site,
+)
 
-__all__ = ["C3Testbed", "TestbedConfig"]
+__all__ = [
+    "C3Testbed",
+    "FederatedTestbed",
+    "FederationConfig",
+    "Site",
+    "TestbedConfig",
+]

@@ -25,6 +25,7 @@ from repro.core import (
     SwitchTopology,
 )
 from repro.core.service_registry import EdgeService
+from repro.core.state import InMemoryState
 from repro.k8s import KubernetesCluster
 from repro.k8s.profile import K8sProfile
 from repro.metrics import MetricsRecorder
@@ -194,7 +195,8 @@ class C3Testbed:
             self.behaviors,
             scheduler_name=self.config.k8s_local_scheduler,
         )
-        self.service_registry = ServiceRegistry(self.annotator)
+        self.state = InMemoryState()
+        self.service_registry = ServiceRegistry(self.annotator, state=self.state)
         self.scheduler = scheduler or NearestScheduler()
         controller_config = dataclasses.replace(
             ControllerConfig.from_calibration(calibration),
@@ -209,6 +211,7 @@ class C3Testbed:
             config=controller_config,
             calibration=calibration,
             recorder=self.recorder,
+            state=self.state,
         )
         self.datapath = self.controller.attach(
             self.switch, latency_s=self.config.control_channel_latency_s
@@ -342,10 +345,10 @@ class C3Testbed:
         """Hand a client over to another gNB (same IP, new attachment).
 
         The old radio link goes down, a new one comes up, and the
-        controller refreshes the client's routes and clears its stale
-        redirect flows.  Its memorized flows survive, so the next
-        request re-establishes the redirection at the new switch via
-        the FlowMemory fast path.
+        controller refreshes the client's routes, clears its stale
+        redirect flows, and invalidates its memorized flows — the next
+        request from the new location is re-resolved by the scheduler
+        instead of replaying a resolution made for the old switch.
         """
         old_endpoint = client.iface.endpoint
         if old_endpoint is not None:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 
 from repro import yamlite
@@ -362,6 +364,43 @@ class TestSchedulerLoader:
     def test_bad_params_rejected(self):
         with pytest.raises(SchedulerLoadError, match="instantiate"):
             load_scheduler("NearestScheduler", bogus=1)
+
+    def test_not_a_class_rejected(self):
+        with pytest.raises(SchedulerLoadError, match="not a GlobalScheduler"):
+            load_scheduler("repro.core.schedulers.loader:load_scheduler")
+
+    def test_reload_picks_up_edits(self, tmp_path, monkeypatch):
+        module = tmp_path / "scratch_sched.py"
+        module.write_text(
+            "from repro.core.schedulers.base import GlobalScheduler, Decision\n"
+            "class Scratch(GlobalScheduler):\n"
+            "    TAG = 'v1'\n"
+            "    def choose(self, service, states, client_ip):\n"
+            "        return Decision(fast=None, best=None)\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        first = load_scheduler("scratch_sched:Scratch")
+        assert first.TAG == "v1"
+        module.write_text(module.read_text().replace("'v1'", "'v2'"))
+        # Without reload the cached module (and old class) is reused.
+        assert load_scheduler("scratch_sched:Scratch").TAG == "v1"
+        assert load_scheduler("scratch_sched:Scratch", reload=True).TAG == "v2"
+        sys.modules.pop("scratch_sched", None)
+
+    def test_reload_of_broken_edit_reports_error(self, tmp_path, monkeypatch):
+        module = tmp_path / "scratch_sched2.py"
+        module.write_text(
+            "from repro.core.schedulers.base import GlobalScheduler, Decision\n"
+            "class Scratch(GlobalScheduler):\n"
+            "    def choose(self, service, states, client_ip):\n"
+            "        return Decision(fast=None, best=None)\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        load_scheduler("scratch_sched2:Scratch")
+        module.write_text("import no_such_dependency\n")
+        with pytest.raises(SchedulerLoadError, match="cannot import"):
+            load_scheduler("scratch_sched2:Scratch", reload=True)
+        sys.modules.pop("scratch_sched2", None)
 
 
 class TestDeploymentPlanValidation:

@@ -19,6 +19,7 @@ EXAMPLES = [
     "scale_down_idle",
     "client_mobility",
     "serverless_vs_containers",
+    "federation_quickstart",
 ]
 
 

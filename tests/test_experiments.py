@@ -84,7 +84,8 @@ class TestExperimentResult:
             "ablation_layer_cache", "ablation_flow_table",
             "ablation_flow_occupancy",
             "extension_serverless", "extension_proactive", "extension_load",
-            "extension_breakdown", "extension_hierarchy", "resilience",
+            "extension_breakdown", "extension_hierarchy",
+            "extension_federation", "resilience",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -175,3 +176,29 @@ class TestResilience:
         # ...and the median collapses to the fast-path serving latency.
         p50 = result.headers.index("p50 (s)")
         assert by_mode["on"][p50] < by_mode["off"][p50]
+
+
+class TestFederationExperiment:
+    def test_small_sweep_shapes(self):
+        from repro.experiments import run_extension_d1_federation
+
+        result = run_extension_d1_federation(
+            site_counts=(1, 2), delays=(0.025,), fixed_sites=2
+        )
+        assert [row[0] for row in result.rows] == [
+            "sites=1", "sites=2", "delay=25ms",
+        ]
+        # Single site: no cross-site columns.
+        assert result.cell("sites=1", "remote first-packet (s)") == "-"
+        assert result.cell("sites=1", "cross-site redirects") == 0
+        # Two sites: the peer's first packet is served cross-site,
+        # faster than the origin's cold start, slower than warm local.
+        warm = result.cell("sites=2", "warm local (s)")
+        remote = result.cell("sites=2", "remote first-packet (s)")
+        cold = result.cell("sites=2", "cold first-packet (s)")
+        assert warm < remote < cold
+        assert result.cell("sites=2", "cross-site redirects") >= 1
+        # Concurrent cold starts inside the propagation window: every
+        # site deploys its own copy, and every request succeeds.
+        assert result.cell("sites=2", "duplicate deployments") == 2
+        assert result.cell("sites=2", "concurrent ok") == "2/2"

@@ -63,8 +63,9 @@ class TestMultiGnb:
 
 class TestHandover:
     def test_handover_keeps_service_reachable(self):
-        """After moving, the next request works via the FlowMemory fast
-        path at the new switch — no re-scheduling."""
+        """After moving, the next request is *re-resolved* — the old
+        location's memorized flow is invalidated, the scheduler runs
+        again from the new switch, and the warm instance answers."""
         tb, gnb2 = _testbed()
         client = tb.clients[0]  # starts on the main switch
         svc = tb.register_template(NGINX)
@@ -75,16 +76,27 @@ class TestHandover:
         dispatched_before = tb.controller.stats["dispatched"]
 
         tb.move_client(client, gnb2)
+        # The handover invalidated exactly this client's memorized flow.
+        assert tb.controller.flow_memory.lookup(client.ip, svc) is None
 
         after = tb.run_request(client, svc, NGINX.request)
         assert after.response.status == 200
-        # Served warm-ish: no deployment in the path.
+        # Served warm-ish: the instance is already running, so the
+        # re-resolution costs a scheduler pass but no deployment.
         assert after.time_total < 0.05
-        # The controller answered from FlowMemory, not the scheduler.
-        assert tb.controller.stats["dispatched"] == dispatched_before
-        assert tb.controller.stats["memory_hits"] >= 1
+        # The moved client went back through the dispatcher (stale
+        # memory is not replayed from the new location).
+        assert tb.controller.stats["dispatched"] == dispatched_before + 1
         # Location tracking follows the client.
         assert tb.controller.dispatcher.client_locations[client.ip].datapath_id == 2
+        # Once re-resolved, later packet-ins ride the memory fast path
+        # again (idle the switch entry out first; memory lives longer).
+        tb.env.run(until=tb.env.now + 15.0)
+        hits_before = tb.controller.stats["memory_hits"]
+        again = tb.run_request(client, svc, NGINX.request)
+        assert again.response.status == 200
+        assert tb.controller.stats["memory_hits"] == hits_before + 1
+        assert tb.controller.stats["dispatched"] == dispatched_before + 1
 
     def test_handover_tears_down_old_flows(self):
         tb, gnb2 = _testbed()
@@ -132,8 +144,55 @@ class TestHandover:
                 tb.env.run(until=tb.env.now + 1.0)
         assert len(results) == 12
         assert all(r.response.status == 200 for r in results)
-        # Only the very first request dispatched a deployment.
-        assert tb.controller.stats["dispatched"] == 1
+        # One dispatch per location (the first request and each of the
+        # three handovers re-resolve); only the first deployed anything.
+        assert tb.controller.stats["dispatched"] == 4
+
+    def test_mid_flow_move_re_resolved_without_handover_signal(self):
+        """Regression: a client that shows up behind a different gNB
+        *mid-flow* — before anything called ``update_client_location``
+        — is re-resolved on its next request.  ``note_client`` detects
+        the datapath change and invalidates the stale memorized flow."""
+        tb, gnb2 = _testbed()
+        client = tb.clients[0]
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        tb.run_request(client, svc, NGINX.request)
+        assert tb.controller.flow_memory.lookup(client.ip, svc) is not None
+
+        dispatcher = tb.controller.dispatcher
+        # The client's packets start arriving from datapath 2 with no
+        # handover notification (e.g. the RAN moved it under our feet).
+        dispatcher.note_client(client.ip, gnb2.datapath_id, in_port=1)
+        assert tb.controller.flow_memory.lookup(client.ip, svc) is None
+        dispatched = tb.controller.stats["dispatched"]
+        tb.move_client(client, gnb2)
+        result = tb.run_request(client, svc, NGINX.request)
+        assert result.response.status == 200
+        assert tb.controller.stats["dispatched"] == dispatched + 1
+
+    def test_move_invalidates_only_the_moved_client(self):
+        """The handover forgets exactly the moved client's memorized
+        flows; a bystander on the original switch keeps its fast path."""
+        tb, gnb2 = _testbed()
+        mover, stayer = tb.clients[0], tb.clients[1]
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        tb.run_request(mover, svc, NGINX.request)
+        tb.run_request(stayer, svc, NGINX.request)
+
+        tb.move_client(mover, gnb2)
+        assert tb.controller.flow_memory.lookup(mover.ip, svc) is None
+        assert tb.controller.flow_memory.lookup(stayer.ip, svc) is not None
+
+        # Idle the stayer's switch entry out (memory lives longer) so
+        # its next request produces a packet-in — answered from memory.
+        tb.env.run(until=tb.env.now + 15.0)
+        hits = tb.controller.stats["memory_hits"]
+        dispatched = tb.controller.stats["dispatched"]
+        assert tb.run_request(stayer, svc, NGINX.request).response.status == 200
+        assert tb.controller.stats["memory_hits"] == hits + 1
+        assert tb.controller.stats["dispatched"] == dispatched
 
     def test_transparency_survives_handover(self):
         tb, gnb2 = _testbed()

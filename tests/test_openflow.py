@@ -235,6 +235,10 @@ class TestSwitchDataPlane:
                 )
 
         app2 = OnDemandApp(env)
+        # A switch belongs to one controller: rebinding requires detach.
+        with pytest.raises(ValueError):
+            app2.attach(sw)
+        app.detach(sw)
         app2.attach(sw)
         result = run_request(env, client, server.ip, 80)
         assert result.response.status == 200

@@ -65,11 +65,14 @@ for entry in (_REPO_ROOT, _REPO_ROOT / "src"):
 from benchmarks.perf.harness import (  # noqa: E402
     DEFAULT_SCALES,
     DEFAULT_SEED,
+    run_federation_benchmark,
     run_replay_benchmark,
 )
 
 SCHEMA = "repro-bench-throughput/1"
+FED_SCHEMA = "repro-bench-federation/1"
 DEFAULT_REPORT = _REPO_ROOT / "BENCH_PR3.json"
+DEFAULT_FED_REPORT = _REPO_ROOT / "BENCH_FED.json"
 
 #: --check warns when events/sec drops below (1 - this) x baseline.
 EVENTS_DROP_WARN = 0.30
@@ -152,7 +155,28 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         help="arm the canned fault plan (registry outage + edge-host "
         "crash) during the replay; incompatible with --check",
     )
-    return parser.parse_args(argv)
+    parser.add_argument(
+        "--federation",
+        action="store_true",
+        help="replay against the federated control plane instead of "
+        "the single controller; sweeps --sites at the first --scales "
+        f"entry and reports to {DEFAULT_FED_REPORT.name}",
+    )
+    parser.add_argument(
+        "--sites",
+        default="1,2,4",
+        help="with --federation: comma-separated site counts "
+        "(default: 1,2,4)",
+    )
+    args = parser.parse_args(argv)
+    if args.federation:
+        # Federation runs keep their own report: fingerprints from the
+        # sharded control plane are not comparable to the monolith's.
+        if args.output == DEFAULT_REPORT:
+            args.output = DEFAULT_FED_REPORT
+        if args.baseline == DEFAULT_REPORT:
+            args.baseline = DEFAULT_FED_REPORT
+    return args
 
 
 def _canned_fault_plan(seed: int):
@@ -224,6 +248,76 @@ def _run_sweep(
             flush=True,
         )
     return report
+
+
+def _run_federation_sweep(
+    site_counts: list[int], scale: int, seed: int, label: str
+) -> dict:
+    runs = []
+    for n_sites in site_counts:
+        print(f"[bench] federation {n_sites} site(s) at {scale}x ...",
+              flush=True)
+        result = run_federation_benchmark(
+            n_sites=n_sites, scale=scale, seed=seed
+        )
+        run = {"n_sites": n_sites, **result.to_json()}
+        runs.append(run)
+        print(
+            f"[bench]   wall={result.wall_s:.2f}s "
+            f"req/s={result.requests_per_sec:.0f} "
+            f"ok={result.n_ok}/{result.n_requests} "
+            f"latency_md5={result.latency_md5[:12]}",
+            flush=True,
+        )
+    return {
+        "schema": FED_SCHEMA,
+        "label": label,
+        "python": platform.python_version(),
+        "trace_seed": seed,
+        "runs": runs,
+    }
+
+
+def _check_federation(args: argparse.Namespace) -> int:
+    if not args.baseline.exists():
+        print(f"[bench] no federation baseline at {args.baseline}; run "
+              "the sweep first (--federation)", file=sys.stderr)
+        return 2
+    recorded = json.loads(args.baseline.read_text())
+    runs = sorted(recorded["runs"], key=lambda r: (r["n_sites"], r["scale"]))
+    if not runs:
+        print("[bench] federation report holds no runs", file=sys.stderr)
+        return 2
+    reference = runs[0]
+    n_sites, scale = reference["n_sites"], reference["scale"]
+    print(f"[bench] federation smoke check: {n_sites} site(s) at {scale}x "
+          f"vs recorded {reference['wall_s']:.2f}s "
+          f"(tolerance {args.tolerance:g}x)")
+    result = run_federation_benchmark(
+        n_sites=n_sites, scale=scale, seed=recorded["trace_seed"]
+    )
+    limit = reference["wall_s"] * args.tolerance
+    status = "ok" if result.wall_s <= limit else "REGRESSED"
+    print(f"[bench] wall={result.wall_s:.2f}s limit={limit:.2f}s -> {status}")
+    live = {
+        "scale": scale,
+        "n_sites": n_sites,
+        "events_per_sec": result.events_per_sec,
+    }
+    drops = _events_drop_warnings([live], [reference])
+    for line in drops:
+        print(line, file=sys.stderr)
+    if drops and args.strict:
+        print("[bench] --strict: events/sec drop treated as failure",
+              file=sys.stderr)
+        return 1
+    if result.latency_md5 != reference["latency_md5"]:
+        print("[bench] WARNING: federation latency fingerprint drifted "
+              f"({result.latency_md5[:12]} != "
+              f"{reference['latency_md5'][:12]}) — simulated-time "
+              "results changed", file=sys.stderr)
+        return 1
+    return 0 if result.wall_s <= limit else 1
 
 
 def _merge_baseline(report: dict, baseline_path: pathlib.Path) -> None:
@@ -336,12 +430,24 @@ def main(argv: list[str] | None = None) -> int:
         print("[bench] --faults changes the workload semantics; it cannot "
               "combine with --check or --profile", file=sys.stderr)
         return 2
+    if args.federation and (args.faults or args.profile):
+        print("[bench] --federation does not combine with --faults or "
+              "--profile", file=sys.stderr)
+        return 2
     if args.check:
-        return _check(args)
+        return _check_federation(args) if args.federation else _check(args)
     if args.profile:
         return _profile(args)
 
     scales = [int(s) for s in str(args.scales).split(",") if s.strip()]
+    if args.federation:
+        site_counts = [int(s) for s in str(args.sites).split(",") if s.strip()]
+        report = _run_federation_sweep(
+            site_counts, scales[0], args.seed, args.label
+        )
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[bench] wrote {args.output}")
+        return 0
     report = _run_sweep(
         scales, args.seed, args.label, args.alloc_scale,
         with_faults=args.faults,
