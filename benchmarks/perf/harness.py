@@ -161,6 +161,111 @@ def run_federation_benchmark(
     )
 
 
+@dataclasses.dataclass
+class ParallelBenchResult:
+    """One partitioned-replay measurement (serial or parallel mode).
+
+    ``latency_md5`` is the combined per-site completion fingerprint —
+    a serial and a parallel run of the same workload must produce the
+    same value (the determinism guarantee of ``repro.sim.parallel``),
+    so benchmark reports double as parity evidence.
+    """
+
+    n_sites: int
+    n_clients: int
+    n_requests: int
+    #: ``"serial"`` (one process, reference) or ``"parallel"``
+    #: (one forked worker per partition).
+    mode: str
+    #: Partition count (sites + backbone); in parallel mode this is
+    #: also the worker-process count.
+    n_partitions: int
+    issued: int
+    completed: int
+    wall_s: float
+    sim_s: float
+    #: Synchronization rounds the conservative engine ran.
+    rounds: int
+    events: int
+    events_per_sec: float
+    requests_per_sec: float
+    cross_partition_messages: int
+    null_messages: int
+    peak_flow_table: int
+    latency_md5: str
+    #: Per-partition counters: events, busy seconds, per-worker
+    #: events/sec, packet/null message counts.
+    workers: list[dict[str, _t.Any]]
+
+    def to_json(self) -> dict[str, _t.Any]:
+        return dataclasses.asdict(self)
+
+
+def run_parallel_benchmark(
+    n_sites: int = 4,
+    n_clients: int = 100_000,
+    n_requests: int = 1_000_000,
+    duration_s: float = 300.0,
+    parallel: bool = False,
+    seed: int = DEFAULT_SEED,
+) -> ParallelBenchResult:
+    """Run the synthetic partitioned replay and measure wall-clock.
+
+    The workload is ``repro.sim.parallel.model``'s federated edge
+    replay: ``n_sites`` site partitions plus a backbone partition, cut
+    at the trunk links.  ``parallel=False`` runs the single-process
+    :class:`~repro.sim.parallel.SerialExecutor` reference;
+    ``parallel=True`` forks one worker per partition under the
+    conservative coordinator.  Same workload + same seed must yield
+    the same ``latency_md5`` in both modes.
+    """
+    from repro.sim.parallel import ParallelCoordinator, SerialExecutor
+    from repro.sim.parallel.model import (
+        EdgeWorkload,
+        build_specs,
+        combined_fingerprint,
+        totals,
+    )
+
+    workload = EdgeWorkload(
+        n_sites=n_sites,
+        n_clients=n_clients,
+        n_requests=n_requests,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    specs = build_specs(workload)
+    executor: _t.Any = (
+        ParallelCoordinator(specs) if parallel else SerialExecutor(specs)
+    )
+    run = executor.run(workload.until_s)
+    stats = run.stats
+    counts = totals(run.results, n_sites)
+    eps = stats.events_per_sec or 0.0
+    return ParallelBenchResult(
+        n_sites=n_sites,
+        n_clients=n_clients,
+        n_requests=n_requests,
+        mode=stats.mode,
+        n_partitions=len(specs),
+        issued=counts["issued"],
+        completed=counts["completed"],
+        wall_s=round(stats.wall_s, 3),
+        sim_s=round(workload.until_s, 6),
+        rounds=stats.rounds,
+        events=stats.total_events,
+        events_per_sec=round(eps, 1),
+        requests_per_sec=round(counts["completed"] / stats.wall_s, 1),
+        cross_partition_messages=stats.cross_partition_messages,
+        null_messages=stats.null_messages,
+        peak_flow_table=max(
+            run.results[f"site{s}"]["peak_flow_table"] for s in range(n_sites)
+        ),
+        latency_md5=combined_fingerprint(run.results, n_sites),
+        workers=[p.to_json() for p in stats.partitions],
+    )
+
+
 def run_replay_benchmark(
     scale: int = 1,
     seed: int = DEFAULT_SEED,

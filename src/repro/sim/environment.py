@@ -300,6 +300,53 @@ class Environment:
             exc = _t.cast(BaseException, event._value)
             raise exc
 
+    def run_below(self, limit: float) -> None:
+        """Process every event with time strictly below ``limit``.
+
+        The parallel kernel's inner loop: a partition advancing to its
+        conservative horizon calls this once per synchronization round,
+        so unlike :meth:`run` it allocates no stop event, registers no
+        callback, and leaves the gc thresholds alone (the round driver
+        brackets the *whole* run instead, amortizing the collector
+        dance across thousands of rounds).  Events stamped exactly at
+        ``limit`` stay on the heap — the same boundary rule as
+        ``run(until=limit)``, whose urgent stop event also fires ahead
+        of same-time work — which is what keeps a cross-partition
+        packet arriving exactly at the lookahead horizon ordered
+        identically in serial and parallel executions.  The clock is
+        left at the last processed event; it does NOT jump to
+        ``limit``.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        events = self.events_processed
+        try:
+            while queue and queue[0][0] < limit:
+                item = pop(queue)
+                self._now = item[0]
+                events += 1
+
+                if len(item) == 5:
+                    try:
+                        item[3](*item[4])
+                    except SimulationError:
+                        raise
+                    except Exception as exc:
+                        raise SimulationError(
+                            f"scheduled callback {item[3]!r} raised {exc!r}"
+                        ) from exc
+                    continue
+
+                event = item[3]
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in _t.cast(list, callbacks):
+                    callback(event)
+
+                if not event._ok and not event._defused:
+                    raise _t.cast(BaseException, event._value)
+        finally:
+            self.events_processed = events
+
     def run(self, until: float | Event | None = None) -> _t.Any:
         """Run the simulation.
 

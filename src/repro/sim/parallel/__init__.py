@@ -1,0 +1,68 @@
+"""Conservative parallel discrete-event simulation (PDES) kernel.
+
+The simulated network is inherently partitioned — each edge site owns
+its gNB, clusters, and clients, coupled only through backbone links —
+so the data plane shards the same way the control plane did in the
+distributed-controller refactor: one :class:`Partition` (with its own
+:class:`~repro.sim.Environment`) per site, synchronized conservatively
+over the cut links.
+
+The classic null-message (Chandy–Misra–Bryant) argument applies: a
+packet crossing a backbone link of latency *L* sent at time *t*
+arrives no earlier than ``t + L``, so *L* is the channel's
+**lookahead** and every partition may safely process local events up
+to the minimum lower-bound timestamp (LBTS) advertised across its
+inbound channels.  Partitions advance in barrier-synchronized rounds;
+each round every out-channel carries either a batch of timestamped
+packet messages (a burst crossing the backbone is ONE message) or a
+pure null message advertising the new bound, so an idle partition can
+never deadlock its neighbours.
+
+Determinism: the serial executor and the parallel (forked-worker)
+coordinator run the *identical* round algorithm over the identical
+partitions — same horizons, same message routing, same sorted
+injection order — so same-seed runs produce byte-identical event
+sequences, and with them byte-identical latency traces.  This is
+gated in ``tests/test_parallel_sim.py`` and the parallel perf-smoke
+CI job.
+"""
+
+from repro.sim.parallel.coordinator import (
+    ParallelCoordinator,
+    ParallelRun,
+    RunStats,
+    SerialExecutor,
+)
+from repro.sim.parallel.partition import (
+    ChannelSpec,
+    Partition,
+    PartitionModel,
+    PartitionSpec,
+    Portal,
+    SyncError,
+)
+from repro.sim.parallel.partitioner import (
+    CutLink,
+    NodeSpec,
+    PartitionError,
+    TopologySpec,
+    partition_topology,
+)
+
+__all__ = [
+    "ChannelSpec",
+    "CutLink",
+    "NodeSpec",
+    "ParallelCoordinator",
+    "ParallelRun",
+    "Partition",
+    "PartitionError",
+    "PartitionModel",
+    "PartitionSpec",
+    "Portal",
+    "RunStats",
+    "SerialExecutor",
+    "SyncError",
+    "TopologySpec",
+    "partition_topology",
+]

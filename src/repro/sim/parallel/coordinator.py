@@ -1,0 +1,388 @@
+"""The conservative round engine: serial reference and forked workers.
+
+Both executors run the *same* barrier-synchronized null-message
+algorithm over the same :class:`~repro.sim.parallel.partition.Partition`
+objects:
+
+.. code-block:: text
+
+    round r:  every partition        inject(inbox from round r-1)
+                                     advance(min inbound LBTS, capped at T)
+                                     drain() -> one batch per out-channel
+              coordinator            route batches -> next inboxes
+              repeat until every partition is drained and idle
+
+The serial executor steps partitions in index order inside one
+process; the parallel coordinator forks one worker per partition
+(reusing the experiment engine's fork-pool idiom: module-level
+builders, picklable specs, nothing env-bound crossing the boundary)
+and overlaps their ``advance`` phases, exchanging the identical
+batches over pipes.  Because horizons, routing, and injection order
+are all derived from the same deterministic round state, both
+executions drive every partition's event heap through the identical
+sequence — the latency traces come out byte-identical, which
+``tests/test_parallel_sim.py`` gates with md5 fingerprints.
+
+Per-partition counters (events processed, busy wall-clock,
+packet/null message counts) are collected into :class:`RunStats` so
+benchmark reports can expose load imbalance and synchronization
+overhead (`BENCH_PR6.json`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import gc
+import multiprocessing
+import time
+import typing as _t
+
+from repro.sim.parallel.partition import (
+    ChannelBatch,
+    Partition,
+    PartitionSpec,
+)
+
+#: Wire message tags (worker <-> coordinator).
+_GRANT = "g"  # coordinator -> worker: one round's inbound batches
+_UPDATE = "u"  # worker -> coordinator: outbound batches + liveness
+_FINAL = "f"  # coordinator -> worker: run finished, send results
+_RESULT = "d"  # worker -> coordinator: model result + stats
+_ERROR = "e"  # worker -> coordinator: traceback
+
+
+@dataclasses.dataclass
+class PartitionStats:
+    """One partition's counters for a completed run."""
+
+    partition_id: str
+    events: int
+    busy_s: float
+    messages_sent: int
+    nulls_sent: int
+    messages_received: int
+
+    @property
+    def events_per_sec(self) -> float | None:
+        if self.busy_s <= 0:
+            return None
+        return self.events / self.busy_s
+
+    def to_json(self) -> dict[str, _t.Any]:
+        eps = self.events_per_sec
+        return {
+            "partition": self.partition_id,
+            "events": self.events,
+            "busy_s": round(self.busy_s, 3),
+            "events_per_sec": round(eps, 1) if eps is not None else None,
+            "messages_sent": self.messages_sent,
+            "nulls_sent": self.nulls_sent,
+            "messages_received": self.messages_received,
+        }
+
+
+@dataclasses.dataclass
+class RunStats:
+    """Whole-run counters."""
+
+    mode: str
+    rounds: int
+    wall_s: float
+    partitions: list[PartitionStats]
+
+    @property
+    def total_events(self) -> int:
+        return sum(p.events for p in self.partitions)
+
+    @property
+    def events_per_sec(self) -> float | None:
+        if self.wall_s <= 0:
+            return None
+        return self.total_events / self.wall_s
+
+    @property
+    def cross_partition_messages(self) -> int:
+        return sum(p.messages_sent for p in self.partitions)
+
+    @property
+    def null_messages(self) -> int:
+        return sum(p.nulls_sent for p in self.partitions)
+
+
+@dataclasses.dataclass
+class ParallelRun:
+    """Results of one partitioned run."""
+
+    #: partition_id -> whatever the partition model's ``result()`` returned.
+    results: dict[str, _t.Any]
+    stats: RunStats
+
+
+class _Router:
+    """Round-state shared by both executors: routes batches to inboxes."""
+
+    def __init__(self, specs: _t.Sequence[PartitionSpec]) -> None:
+        self._dst: dict[str, str] = {}
+        for spec in specs:
+            for cs in spec.in_channels:
+                self._dst[cs.channel_id] = spec.partition_id
+        self.inboxes: dict[str, list[ChannelBatch]] = {
+            spec.partition_id: [] for spec in specs
+        }
+        self.packets_routed = 0
+
+    def route(self, batches: _t.Iterable[ChannelBatch]) -> None:
+        for batch in batches:
+            self.inboxes[self._dst[batch[0]]].append(batch)
+            self.packets_routed += len(batch[2])
+
+    def take(self, partition_id: str) -> list[ChannelBatch]:
+        inbox = self.inboxes[partition_id]
+        self.inboxes[partition_id] = []
+        return inbox
+
+
+@contextlib.contextmanager
+def _calm_collector() -> _t.Iterator[None]:
+    """Raise the gen-0 gc threshold for the duration of a round loop.
+
+    ``Environment.run`` does this per call; the round engines call
+    ``run_below`` tens of thousands of times, so the collector dance is
+    hoisted here and paid once per run instead of once per round.
+    """
+    thresholds = gc.get_threshold()
+    gc.set_threshold(1_000_000, *thresholds[1:])
+    try:
+        yield
+    finally:
+        gc.set_threshold(*thresholds)
+
+
+def _step_partition(
+    partition: Partition, inbox: list[ChannelBatch], until: float
+) -> tuple[list[ChannelBatch], bool, float]:
+    """One partition's share of one round (also the worker hot loop)."""
+    partition.inject(inbox)
+    partition.advance(partition.horizon(until))
+    batches, _lower = partition.drain(until)
+    return batches, partition.done(until), partition.env.now
+
+
+class SerialExecutor:
+    """The deterministic single-process reference execution.
+
+    Runs every partition in index order within one process, using the
+    exact round algorithm of :class:`ParallelCoordinator` — this is
+    the "serial run" that parallel latency traces are gated
+    byte-identical against.
+    """
+
+    def __init__(self, specs: _t.Sequence[PartitionSpec]) -> None:
+        self.specs = sorted(specs, key=lambda s: s.index)
+
+    def run(self, until: float) -> ParallelRun:
+        wall_start = time.perf_counter()
+        partitions = [Partition(spec) for spec in self.specs]
+        router = _Router(self.specs)
+        busy = {p.partition_id: 0.0 for p in partitions}
+        with _calm_collector():
+            rounds = self._loop(partitions, router, busy, until)
+        for partition in partitions:
+            partition.finalize(until)
+        wall_s = time.perf_counter() - wall_start
+        stats = RunStats(
+            mode="serial",
+            rounds=rounds,
+            wall_s=wall_s,
+            partitions=[
+                PartitionStats(
+                    partition_id=p.partition_id,
+                    events=p.env.events_processed,
+                    busy_s=busy[p.partition_id],
+                    messages_sent=p.messages_sent,
+                    nulls_sent=p.nulls_sent,
+                    messages_received=p.messages_received,
+                )
+                for p in partitions
+            ],
+        )
+        return ParallelRun(
+            results={p.partition_id: p.model.result() for p in partitions},
+            stats=stats,
+        )
+
+    @staticmethod
+    def _loop(
+        partitions: list[Partition],
+        router: _Router,
+        busy: dict[str, float],
+        until: float,
+    ) -> int:
+        rounds = 0
+        while True:
+            rounds += 1
+            routed_before = router.packets_routed
+            # Snapshot every inbox BEFORE stepping anything: the
+            # parallel coordinator hands all grants out at the round
+            # barrier, so a batch produced in round r must never reach
+            # a sibling until round r+1 here either — mid-round
+            # delivery would change injection rounds and with them the
+            # heap tie-break sequence, breaking byte-identity.
+            inboxes = {
+                partition.partition_id: router.take(partition.partition_id)
+                for partition in partitions
+            }
+            all_done = True
+            for partition in partitions:
+                t0 = time.perf_counter()
+                batches, done, _now = _step_partition(
+                    partition, inboxes[partition.partition_id], until
+                )
+                busy[partition.partition_id] += time.perf_counter() - t0
+                router.route(batches)
+                all_done = all_done and done
+            if all_done and router.packets_routed == routed_before:
+                return rounds
+
+
+def _worker_main(conn: _t.Any, spec: PartitionSpec, until: float) -> None:
+    """Worker process: build the partition locally, loop rounds."""
+    try:
+        partition = Partition(spec)
+        busy = 0.0
+        with _calm_collector():
+            while True:
+                message = conn.recv()
+                if message[0] == _FINAL:
+                    break
+                t0 = time.perf_counter()
+                batches, done, _now = _step_partition(
+                    partition, message[1], until
+                )
+                busy += time.perf_counter() - t0
+                conn.send((_UPDATE, batches, done))
+        partition.finalize(until)
+        conn.send(
+            (
+                _RESULT,
+                partition.model.result(),
+                (
+                    partition.env.events_processed,
+                    busy,
+                    partition.messages_sent,
+                    partition.nulls_sent,
+                    partition.messages_received,
+                ),
+            )
+        )
+    except Exception:  # pragma: no cover - surfaced by the coordinator
+        import traceback
+
+        try:
+            conn.send((_ERROR, traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class ParallelCoordinator:
+    """Forked per-partition workers, barrier-synchronized per round.
+
+    The fork start method is required (and asserted): workers inherit
+    the imported modules and the spec constants, so the only pickling
+    on the hot path is the per-round batch exchange — and a burst of
+    packets crossing a channel in one round is one message.
+    """
+
+    def __init__(self, specs: _t.Sequence[PartitionSpec]) -> None:
+        self.specs = sorted(specs, key=lambda s: s.index)
+
+    def run(self, until: float) -> ParallelRun:
+        ctx = multiprocessing.get_context("fork")
+        wall_start = time.perf_counter()
+        router = _Router(self.specs)
+        pipes: dict[str, _t.Any] = {}
+        procs: list[_t.Any] = []
+        try:
+            for spec in self.specs:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, spec, until),
+                    name=f"sim-partition-{spec.partition_id}",
+                )
+                proc.start()
+                child_conn.close()
+                pipes[spec.partition_id] = parent_conn
+                procs.append(proc)
+
+            rounds = 0
+            while True:
+                rounds += 1
+                routed_before = router.packets_routed
+                for spec in self.specs:
+                    pipes[spec.partition_id].send(
+                        (_GRANT, router.take(spec.partition_id))
+                    )
+                all_done = True
+                for spec in self.specs:
+                    message = self._recv(pipes[spec.partition_id], spec)
+                    router.route(message[1])
+                    all_done = all_done and message[2]
+                if all_done and router.packets_routed == routed_before:
+                    break
+
+            results: dict[str, _t.Any] = {}
+            stats: list[PartitionStats] = []
+            for spec in self.specs:
+                pipes[spec.partition_id].send((_FINAL,))
+            for spec in self.specs:
+                message = self._recv(pipes[spec.partition_id], spec)
+                results[spec.partition_id] = message[1]
+                events, busy, sent, nulls, received = message[2]
+                stats.append(
+                    PartitionStats(
+                        partition_id=spec.partition_id,
+                        events=events,
+                        busy_s=busy,
+                        messages_sent=sent,
+                        nulls_sent=nulls,
+                        messages_received=received,
+                    )
+                )
+            for proc in procs:
+                proc.join(timeout=30)
+        finally:
+            for proc in procs:
+                if proc.is_alive():  # pragma: no cover - crash cleanup
+                    proc.terminate()
+                    proc.join(timeout=5)
+            for conn in pipes.values():
+                conn.close()
+        wall_s = time.perf_counter() - wall_start
+        return ParallelRun(
+            results=results,
+            stats=RunStats(
+                mode="parallel",
+                rounds=rounds,
+                wall_s=wall_s,
+                partitions=stats,
+            ),
+        )
+
+    @staticmethod
+    def _recv(conn: _t.Any, spec: PartitionSpec) -> tuple:
+        try:
+            message = conn.recv()
+        except EOFError:
+            raise RuntimeError(
+                f"partition worker {spec.partition_id!r} died without "
+                "reporting an error (see stderr for its traceback)"
+            ) from None
+        if message[0] == _ERROR:
+            raise RuntimeError(
+                f"partition worker {spec.partition_id!r} failed:\n{message[1]}"
+            )
+        return message

@@ -1,0 +1,402 @@
+"""Synthetic site-partitioned edge data plane for large-scale replays.
+
+The full testbed's per-packet machinery tops out around a quarter
+million events per second in one process; driving a 1M-client /
+10M-request replay through it would take hours.  This model keeps the
+*shape* of the paper's data plane — per-site gNB with a real
+:class:`~repro.net.openflow.table.FlowTable` (installs, idle-timeout
+sweeps, peak tracking), per-hop link latencies, a backbone that
+forwards cross-site bursts and fronts the cloud — but drives it with
+slim scheduled callbacks, so a request costs a handful of events
+instead of dozens of packet hops.  Every random draw happens at
+request issue time from an integer-seeded per-site RNG, which makes
+the replay deterministic regardless of how completions interleave —
+the property the serial-vs-parallel byte-identity gate rests on.
+
+Topology (mirrors ``testbed/federation.py``): one partition per site
+plus a backbone partition, cut at the trunk links whose latency is the
+conservative lookahead:
+
+.. code-block:: text
+
+    site0 ══ trunk ══╗                 ╔══ trunk ══ site1
+                     backbone ── cloud
+    site2 ══ trunk ══╝                 ╚══ trunk ══ site3
+
+Latency fingerprints are incremental per-site md5s over
+``"req_id:latency"`` lines in completion order; the combined
+fingerprint (site order) is what the determinism gates compare.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+import typing as _t
+
+from repro.net.addressing import IPv4Address
+from repro.net.openflow.match import FlowMatch
+from repro.net.openflow.table import FlowEntry, FlowTable
+from repro.sim.parallel.partition import Partition, PartitionSpec
+from repro.sim.parallel.partitioner import (
+    CutLink,
+    NodeSpec,
+    TopologySpec,
+    channel_id,
+)
+
+#: Partition name of the backbone/cloud island.
+BACKBONE = "backbone"
+#: ``dst_site`` sentinel routing a request to the cloud.
+CLOUD = -1
+#: Client IPs start here (10.0.0.0), service ports here.
+_CLIENT_IP_BASE = 0x0A000000
+_SERVICE_PORT_BASE = 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeWorkload:
+    """Knobs of the synthetic federated replay."""
+
+    n_sites: int = 4
+    #: Total logical clients across all sites.
+    n_clients: int = 100_000
+    #: Total requests across all sites.
+    n_requests: int = 1_000_000
+    #: Capture window the requests spread over.
+    duration_s: float = 300.0
+    n_services: int = 32
+    #: Fraction of requests served by a *different* site (crosses the
+    #: backbone twice each way) and by the cloud.
+    remote_fraction: float = 0.08
+    cloud_fraction: float = 0.02
+    client_latency_s: float = 200e-6
+    egs_latency_s: float = 50e-6
+    #: Site <-> backbone one-way latency: the lookahead window.
+    trunk_latency_s: float = 0.0125
+    backbone_switch_delay_s: float = 30e-6
+    cloud_latency_s: float = 0.015
+    service_time_mean_s: float = 0.002
+    flow_idle_timeout_s: float = 30.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 1:
+            raise ValueError("need at least one site")
+        if self.remote_fraction + self.cloud_fraction > 1.0:
+            raise ValueError("remote + cloud fractions exceed 1")
+
+    @property
+    def until_s(self) -> float:
+        """Run horizon: the window plus a response-drain tail."""
+        return self.duration_s + 5.0
+
+    def site_share(self, total: int, site: int) -> int:
+        """Site ``site``'s share of ``total`` (even split, remainder low)."""
+        base, rem = divmod(total, self.n_sites)
+        return base + (1 if site < rem else 0)
+
+    def client_base(self, site: int) -> int:
+        return sum(self.site_share(self.n_clients, s) for s in range(site))
+
+
+def build_specs(workload: EdgeWorkload) -> list[PartitionSpec]:
+    """Partition the synthetic federation: cut at the trunk links."""
+    return topology_spec(workload).partitions()
+
+
+def topology_spec(workload: EdgeWorkload) -> TopologySpec:
+    nodes = [
+        NodeSpec(BACKBONE, build_backbone_model, {"workload": workload})
+    ]
+    links = []
+    for site in range(workload.n_sites):
+        name = f"site{site}"
+        nodes.append(
+            NodeSpec(name, build_site_model, {"workload": workload, "site": site})
+        )
+        links.append(CutLink(name, BACKBONE, workload.trunk_latency_s))
+    return TopologySpec(nodes=tuple(nodes), links=tuple(links))
+
+
+def build_site_model(workload: EdgeWorkload, site: int) -> "SiteModel":
+    return SiteModel(workload, site)
+
+
+def build_backbone_model(workload: EdgeWorkload) -> "BackboneModel":
+    return BackboneModel(workload)
+
+
+class SiteModel:
+    """One edge site: clients, gNB flow table, local serving."""
+
+    def __init__(self, workload: EdgeWorkload, site: int) -> None:
+        self.workload = workload
+        self.site = site
+        self.name = f"site{site}"
+        self.n_clients = workload.site_share(workload.n_clients, site)
+        self.n_requests = workload.site_share(workload.n_requests, site)
+        self.client_base = workload.client_base(site)
+        # Integer-only seeding: string seeds hash differently across
+        # processes (PYTHONHASHSEED), which would silently break the
+        # serial-vs-parallel byte-identity guarantee.
+        self.rng = random.Random(workload.seed * 1_000_003 + site + 1)
+        self.table = FlowTable()
+        self.flows: dict[tuple[int, int], FlowEntry] = {}
+        self.issued = 0
+        self.completed = 0
+        self.n_local = 0
+        self.n_remote = 0
+        self.n_cloud = 0
+        self.flows_installed = 0
+        self.flows_swept = 0
+        self.latency_sum = 0.0
+        self.latency_min = float("inf")
+        self.latency_max = 0.0
+        self._digest = hashlib.md5()
+
+    # -- wiring ----------------------------------------------------------
+
+    def setup(self, partition: Partition) -> None:
+        self.partition = partition
+        self.env = partition.env
+        self.trunk = partition.portals[channel_id(self.name, BACKBONE)]
+        partition.on_message(channel_id(BACKBONE, self.name), self._from_backbone)
+        w = self.workload
+        self._rate = (
+            self.n_requests / w.duration_s if w.duration_s > 0 else 0.0
+        )
+        if self.n_requests:
+            self.env.call_at(
+                self.rng.expovariate(self._rate), self._issue_request
+            )
+        self._sweep_interval = max(w.flow_idle_timeout_s / 8.0, 0.5)
+        self.env.call_at(self._sweep_interval, self._sweep)
+
+    # -- workload driver -------------------------------------------------
+
+    def _issue_request(self) -> None:
+        env = self.env
+        now = env.now
+        rng = self.rng
+        w = self.workload
+        self.issued += 1
+        req_id = self.issued
+        client = rng.randrange(self.n_clients)
+        service = rng.randrange(w.n_services)
+        roll = rng.random()
+        service_time = rng.expovariate(1.0 / w.service_time_mean_s)
+
+        if roll < w.cloud_fraction:
+            self.n_cloud += 1
+            self.trunk.send(
+                ("q", CLOUD, (self.site, req_id, client, service,
+                              service_time, now)),
+                arrival_ts=now + w.client_latency_s + w.trunk_latency_s,
+            )
+        elif roll < w.cloud_fraction + w.remote_fraction and w.n_sites > 1:
+            self.n_remote += 1
+            pick = rng.randrange(w.n_sites - 1)
+            dst = pick + 1 if pick >= self.site else pick
+            self.trunk.send(
+                ("q", dst, (self.site, req_id, client, service,
+                            service_time, now)),
+                arrival_ts=now + w.client_latency_s + w.trunk_latency_s,
+            )
+        else:
+            self.n_local += 1
+            self._touch_flow(self.client_base + client, service, now)
+            done = (
+                now
+                + 2.0 * (w.client_latency_s + w.egs_latency_s)
+                + service_time
+            )
+            env.call_at(done, self._complete, req_id, now)
+
+        if self.issued < self.n_requests:
+            gap = rng.expovariate(self._rate)
+            if now + gap <= w.duration_s:
+                env.call_at(now + gap, self._issue_request)
+
+    def _complete(self, req_id: int, t_issued: float) -> None:
+        self._record(req_id, self.env.now - t_issued)
+
+    def _record(self, req_id: int, latency: float) -> None:
+        self.completed += 1
+        self.latency_sum += latency
+        if latency < self.latency_min:
+            self.latency_min = latency
+        if latency > self.latency_max:
+            self.latency_max = latency
+        self._digest.update(f"{req_id}:{latency:.17g}\n".encode("ascii"))
+
+    # -- cross-partition traffic -----------------------------------------
+
+    def _from_backbone(self, message: tuple) -> None:
+        kind = message[0]
+        env = self.env
+        w = self.workload
+        if kind == "s":
+            # Serve a remote site's request here: touch/install the
+            # redirect flow, process, respond over the trunk.
+            src_site, req_id, client, service, service_time, t_issued = message[1]
+            self._touch_flow(
+                w.client_base(src_site) + client, service, env.now
+            )
+            env.call_at(
+                env.now + 2.0 * w.egs_latency_s + service_time,
+                self._respond,
+                src_site,
+                req_id,
+                t_issued,
+            )
+        else:  # "p": response to a request this site originated
+            _kind, req_id, t_issued = message
+            self._record(
+                req_id, (env.now + w.client_latency_s) - t_issued
+            )
+
+    def _respond(self, src_site: int, req_id: int, t_issued: float) -> None:
+        self.trunk.send(("r", src_site, req_id, t_issued))
+
+    # -- flow table ------------------------------------------------------
+
+    def _touch_flow(self, client_ip: int, service: int, now: float) -> None:
+        key = (client_ip, service)
+        entry = self.flows.get(key)
+        if entry is not None:
+            entry.touch(now)
+            return
+        entry = FlowEntry(
+            FlowMatch(
+                ip_src=IPv4Address(_CLIENT_IP_BASE + client_ip),
+                tcp_dst=_SERVICE_PORT_BASE + service,
+            ),
+            actions=(),
+            idle_timeout=self.workload.flow_idle_timeout_s,
+            cookie=key,
+            notify_removal=False,
+        )
+        self.table.install(entry, now)
+        self.flows[key] = entry
+        self.flows_installed += 1
+
+    def _sweep(self) -> None:
+        now = self.env.now
+        expired, earliest = self.table.sweep_and_deadline(now)
+        if expired:
+            flows = self.flows
+            for entry, _reason in expired:
+                del flows[entry.cookie]
+            self.flows_swept += len(expired)
+        wake = now + self._sweep_interval
+        if earliest is not None and earliest > wake:
+            wake = earliest
+        if wake < self.workload.until_s:
+            self.env.call_at(wake, self._sweep)
+
+    # -- results ---------------------------------------------------------
+
+    def result(self) -> dict[str, _t.Any]:
+        return {
+            "site": self.site,
+            "issued": self.issued,
+            "completed": self.completed,
+            "local": self.n_local,
+            "remote": self.n_remote,
+            "cloud": self.n_cloud,
+            "flows_installed": self.flows_installed,
+            "flows_swept": self.flows_swept,
+            "peak_flow_table": int(self.table.peak_size),
+            "final_flow_table": len(self.table),
+            "latency_sum": self.latency_sum,
+            "latency_min": (
+                self.latency_min if self.completed else None
+            ),
+            "latency_max": (self.latency_max if self.completed else None),
+            "latency_md5": self._digest.hexdigest(),
+        }
+
+
+class BackboneModel:
+    """The backbone island: cross-site forwarding plus the cloud."""
+
+    def __init__(self, workload: EdgeWorkload) -> None:
+        self.workload = workload
+        self.forwarded = 0
+        self.cloud_served = 0
+
+    def setup(self, partition: Partition) -> None:
+        self.partition = partition
+        self.env = partition.env
+        self.to_site = {
+            site: partition.portals[channel_id(BACKBONE, f"site{site}")]
+            for site in range(self.workload.n_sites)
+        }
+        for site in range(self.workload.n_sites):
+            partition.on_message(
+                channel_id(f"site{site}", BACKBONE), self._from_site
+            )
+
+    def _from_site(self, message: tuple) -> None:
+        w = self.workload
+        now = self.env.now
+        kind = message[0]
+        if kind == "q":
+            dst = message[1]
+            req = message[2]
+            if dst == CLOUD:
+                # Cloud round trip fused into one response message: the
+                # uplink+serve+downlink delay all happen backbone-side,
+                # so the arrival timestamp carries the whole detour.
+                src_site, req_id, _client, _service, service_time, t_issued = req
+                self.cloud_served += 1
+                self.to_site[src_site].send(
+                    ("p", req_id, t_issued),
+                    arrival_ts=now
+                    + w.backbone_switch_delay_s
+                    + 2.0 * w.cloud_latency_s
+                    + service_time
+                    + w.trunk_latency_s,
+                )
+            else:
+                self.forwarded += 1
+                self.to_site[dst].send(
+                    ("s", req),
+                    arrival_ts=now
+                    + w.backbone_switch_delay_s
+                    + w.trunk_latency_s,
+                )
+        else:  # "r": response heading back to the originating site
+            _kind, src_site, req_id, t_issued = message
+            self.forwarded += 1
+            self.to_site[src_site].send(
+                ("p", req_id, t_issued),
+                arrival_ts=now
+                + w.backbone_switch_delay_s
+                + w.trunk_latency_s,
+            )
+
+    def result(self) -> dict[str, _t.Any]:
+        return {
+            "forwarded": self.forwarded,
+            "cloud_served": self.cloud_served,
+        }
+
+
+def combined_fingerprint(results: dict[str, _t.Any], n_sites: int) -> str:
+    """MD5 over the per-site digests in site order."""
+    digest = hashlib.md5()
+    for site in range(n_sites):
+        digest.update(results[f"site{site}"]["latency_md5"].encode("ascii"))
+    return digest.hexdigest()
+
+
+def totals(results: dict[str, _t.Any], n_sites: int) -> dict[str, int]:
+    """Aggregate issue/completion counters across sites."""
+    issued = completed = 0
+    for site in range(n_sites):
+        issued += results[f"site{site}"]["issued"]
+        completed += results[f"site{site}"]["completed"]
+    return {"issued": issued, "completed": completed}

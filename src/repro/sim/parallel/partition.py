@@ -1,0 +1,269 @@
+"""Partitions: one event loop per site, coupled only through portals.
+
+A :class:`Partition` wraps a private :class:`~repro.sim.Environment`
+plus the sending ends (:class:`Portal`) of its outbound cross-partition
+channels.  Model code inside the partition calls ``portal.send()``
+when traffic leaves; the message is stamped with its *arrival*
+timestamp (send time + channel lookahead, or an explicit later time)
+and buffered in the per-channel outbox.  The round engine (see
+``coordinator.py``) drains outboxes, routes them, and injects each
+arriving message into the destination environment via a slim
+``call_at`` at exactly its timestamp — so a cross-partition packet is
+an ordinary deterministic event on the receiving heap.
+
+Wire format (kept to plain tuples so pickling across the fork
+boundary stays cheap):
+
+* packet message: ``(arrival_ts, seq, payload)`` — ``seq`` is the
+  sender partition's monotone message counter, making the sort key
+  ``(arrival_ts, channel_id, seq)`` total and hash-independent;
+* channel batch: ``(channel_id, lbts, packets)`` — ``lbts`` is the
+  sender's promise that no *future* message on this channel will carry
+  a timestamp below it.  An empty ``packets`` list makes the batch a
+  pure **null message**; one is emitted per out-channel per round
+  whether or not traffic crossed, which is what keeps an idle
+  neighbour from deadlocking the federation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+from itertools import count
+
+from repro.sim import Environment
+
+#: A timestamped cross-partition message: (arrival_ts, sender_seq, payload).
+PacketMessage = tuple[float, int, _t.Any]
+#: One round's traffic on one channel: (channel_id, lbts, packets).
+ChannelBatch = tuple[str, float, list[PacketMessage]]
+
+
+class SyncError(RuntimeError):
+    """A partition violated the conservative-sync contract (e.g. tried
+    to send a message arriving before ``now + lookahead``)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelSpec:
+    """One directed cross-partition channel (one side of a cut link)."""
+
+    channel_id: str
+    src: str
+    dst: str
+    #: Conservative lookahead: no message sent at time ``t`` may arrive
+    #: before ``t + lookahead_s``.  Must be strictly positive — the
+    #: partitioner rejects zero-latency cut links.
+    lookahead_s: float
+    #: ``"data"`` for backbone packet channels, ``"control"`` for
+    #: shared-state replication channels (same sync rules).
+    kind: str = "data"
+
+
+class PartitionModel(_t.Protocol):
+    """What a partition builder returns.
+
+    ``setup`` wires the model into its partition (registering message
+    handlers, scheduling initial events); ``result`` returns a
+    picklable summary shipped back to the coordinator when the run
+    finalizes.
+    """
+
+    def setup(self, partition: "Partition") -> None: ...
+
+    def result(self) -> _t.Any: ...
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionSpec:
+    """Picklable description of one partition.
+
+    The builder is a module-level callable (picklable by reference)
+    invoked *inside* the worker process as ``builder(**kwargs)``, so
+    partitions are constructed where they run — nothing env-bound ever
+    crosses the fork boundary.
+    """
+
+    partition_id: str
+    index: int
+    builder: _t.Callable[..., PartitionModel]
+    kwargs: dict[str, _t.Any]
+    out_channels: tuple[ChannelSpec, ...]
+    in_channels: tuple[ChannelSpec, ...]
+
+
+class Portal:
+    """The sending end of one outbound cross-partition channel."""
+
+    __slots__ = ("channel_id", "lookahead_s", "_partition", "_outbox")
+
+    def __init__(
+        self, partition: "Partition", spec: ChannelSpec
+    ) -> None:
+        self.channel_id = spec.channel_id
+        self.lookahead_s = spec.lookahead_s
+        self._partition = partition
+        self._outbox = partition._outbox[spec.channel_id]
+
+    def send(self, payload: _t.Any, arrival_ts: float | None = None) -> None:
+        """Ship ``payload`` across the cut link.
+
+        It arrives at ``now + lookahead`` by default; pass a later
+        ``arrival_ts`` to model extra in-path delay (e.g. client-link
+        latency before the trunk).  Arrivals earlier than the lookahead
+        bound would break the safe-time invariant and raise
+        :class:`SyncError`.
+        """
+        part = self._partition
+        now = part.env.now
+        if arrival_ts is None:
+            arrival_ts = now + self.lookahead_s
+        elif arrival_ts < now + self.lookahead_s:
+            raise SyncError(
+                f"channel {self.channel_id!r}: arrival_ts {arrival_ts!r} "
+                f"undercuts the lookahead bound {now + self.lookahead_s!r} "
+                f"(now={now!r}, lookahead={self.lookahead_s!r})"
+            )
+        self._outbox.append((arrival_ts, next(part._msg_seq), payload))
+
+
+class Partition:
+    """One shard of the simulated network with its own event loop."""
+
+    def __init__(self, spec: PartitionSpec) -> None:
+        self.spec = spec
+        self.partition_id = spec.partition_id
+        self.env = Environment()
+        self._msg_seq = count()
+        self._outbox: dict[str, list[PacketMessage]] = {
+            cs.channel_id: [] for cs in spec.out_channels
+        }
+        self.portals: dict[str, Portal] = {
+            cs.channel_id: Portal(self, cs) for cs in spec.out_channels
+        }
+        self._out_specs = spec.out_channels
+        # Inbound LBTS per channel: before anything is received, the
+        # peer can reach us no earlier than t0 + lookahead.
+        self._lbts: dict[str, float] = {
+            cs.channel_id: self.env.now + cs.lookahead_s
+            for cs in spec.in_channels
+        }
+        self._handlers: dict[str, _t.Callable[[_t.Any], None]] = {}
+        # Monotone per-channel send bounds (the nulls already promised).
+        self._sent_lbts: dict[str, float] = {
+            cs.channel_id: self.env.now + cs.lookahead_s
+            for cs in spec.out_channels
+        }
+        #: Cross-partition traffic counters (exported in bench JSON).
+        self.messages_sent = 0
+        self.nulls_sent = 0
+        self.messages_received = 0
+        self.model = spec.builder(**spec.kwargs)
+        self.model.setup(self)
+
+    # -- model-facing API -------------------------------------------------
+
+    def on_message(
+        self, channel_id: str, handler: _t.Callable[[_t.Any], None]
+    ) -> None:
+        """Register the handler invoked (at arrival timestamp) for each
+        message arriving on ``channel_id``."""
+        if channel_id not in self._lbts:
+            raise KeyError(
+                f"{self.partition_id!r} has no inbound channel "
+                f"{channel_id!r} (have {sorted(self._lbts)})"
+            )
+        self._handlers[channel_id] = handler
+
+    # -- round-engine API -------------------------------------------------
+
+    def horizon(self, until: float) -> float:
+        """Safe processing bound: events strictly below it may run."""
+        if not self._lbts:
+            return until
+        bound = min(self._lbts.values())
+        return bound if bound < until else until
+
+    def inject(self, batches: list[ChannelBatch]) -> None:
+        """Apply one round's inbound traffic (packets + null bounds).
+
+        Messages are injected in ``(arrival_ts, channel_id, seq)``
+        order — a total, hash-independent key — so the receiving
+        heap's tie-break sequence numbers are identical in serial and
+        parallel execution.
+        """
+        pending: list[tuple[float, str, int, _t.Any]] = []
+        for channel_id, lbts, packets in batches:
+            if lbts > self._lbts[channel_id]:
+                self._lbts[channel_id] = lbts
+            for ts, seq, payload in packets:
+                pending.append((ts, channel_id, seq, payload))
+        if not pending:
+            return
+        pending.sort(key=lambda m: (m[0], m[1], m[2]))
+        call_at = self.env.call_at
+        handlers = self._handlers
+        for ts, channel_id, _seq, payload in pending:
+            call_at(ts, handlers[channel_id], payload)
+        self.messages_received += len(pending)
+
+    def advance(self, horizon: float) -> None:
+        """Process every local event strictly below ``horizon``.
+
+        Uses ``env.run_below(horizon)``: events stamped exactly at the
+        horizon stay on the heap for a later round (the same boundary
+        rule as ``run(until=...)``, whose stop event is urgent), which
+        is what keeps a packet arriving *exactly at* the lookahead
+        horizon ordered identically to a serial run.  ``run_below`` is
+        the allocation-free variant — this is called once per
+        synchronization round, tens of thousands of times per run.
+        """
+        self.env.run_below(horizon)
+
+    def drain(self, until: float) -> tuple[list[ChannelBatch], float]:
+        """Collect this round's outbound batches and the send bound.
+
+        Returns ``(batches, lower_bound)`` where every out-channel gets
+        exactly one batch — packets if traffic crossed, a pure null
+        otherwise — and ``lower_bound`` is the earliest time this
+        partition could still act (its next local event or inbound
+        bound, capped at ``until``).
+        """
+        env = self.env
+        peek = env.peek()
+        lower = peek
+        if self._lbts:
+            inbound = min(self._lbts.values())
+            if inbound < lower:
+                lower = inbound
+        if lower > until:
+            lower = until
+        batches: list[ChannelBatch] = []
+        for cs in self._out_specs:
+            outbox = self._outbox[cs.channel_id]
+            lbts = lower + cs.lookahead_s
+            sent = self._sent_lbts[cs.channel_id]
+            if lbts < sent:
+                lbts = sent  # promises never move backwards
+            else:
+                self._sent_lbts[cs.channel_id] = lbts
+            if outbox:
+                packets = list(outbox)
+                outbox.clear()
+                self.messages_sent += len(packets)
+            else:
+                packets = []
+                self.nulls_sent += 1
+            batches.append((cs.channel_id, lbts, packets))
+        return batches, lower
+
+    def done(self, until: float) -> bool:
+        """True when nothing below ``until`` remains locally."""
+        return self.env.peek() >= until
+
+    def finalize(self, until: float) -> None:
+        """Advance the clock to exactly ``until`` (no events remain
+        below it) so models observe the same end time as a plain
+        ``env.run(until=...)``."""
+        if until > self.env.now:
+            self.env.run(until=until)

@@ -1,0 +1,144 @@
+"""Cutting the topology at backbone links.
+
+The partitioning rule is the paper's architecture read literally:
+every edge site is a self-contained island (gNB switch, clusters,
+clients, EGS) whose only coupling to the rest of the federation is its
+backbone :class:`~repro.net.link.Link`.  Cutting exactly those links
+yields one partition per island, and each cut edge becomes a *pair* of
+directed channels (one per direction) whose lookahead is the link's
+propagation latency — the physical guarantee the conservative
+synchronizer runs on.
+
+A zero-latency cut link has no lookahead: the neighbouring partition
+could influence this one "instantaneously", so no safe window exists
+and the cut is rejected up front with :class:`PartitionError` instead
+of deadlocking (or creeping event-by-event) at run time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.sim.parallel.partition import ChannelSpec, PartitionModel, PartitionSpec
+
+
+class PartitionError(ValueError):
+    """The requested cut cannot be synchronized conservatively."""
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeSpec:
+    """One island of the cut topology (becomes one partition)."""
+
+    name: str
+    builder: _t.Callable[..., PartitionModel]
+    kwargs: dict[str, _t.Any] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass(frozen=True)
+class CutLink:
+    """A backbone link severed by the partitioner (both directions)."""
+
+    a: str
+    b: str
+    latency_s: float
+    kind: str = "data"
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologySpec:
+    """The cut topology: islands plus the links severed between them."""
+
+    nodes: tuple[NodeSpec, ...]
+    links: tuple[CutLink, ...]
+
+    def partitions(self) -> list[PartitionSpec]:
+        return partition_topology(self.nodes, self.links)
+
+
+def channel_id(src: str, dst: str) -> str:
+    """Canonical directed channel name for a cut edge."""
+    return f"{src}->{dst}"
+
+
+def partition_topology(
+    nodes: _t.Sequence[NodeSpec],
+    links: _t.Sequence[CutLink],
+) -> list[PartitionSpec]:
+    """Turn islands + cut links into runnable :class:`PartitionSpec`s.
+
+    Each cut link contributes two directed :class:`ChannelSpec`s with
+    ``lookahead_s`` equal to the link latency.  Raises
+    :class:`PartitionError` for duplicate islands, links referencing
+    unknown islands, a link joining an island to itself, and — the
+    load-bearing check — a cut link with zero (or negative) latency,
+    which would leave the conservative synchronizer without a
+    lookahead window.
+    """
+    if not nodes:
+        raise PartitionError("cannot partition an empty topology")
+    by_name: dict[str, NodeSpec] = {}
+    for node in nodes:
+        if node.name in by_name:
+            raise PartitionError(f"duplicate partition name {node.name!r}")
+        by_name[node.name] = node
+
+    outgoing: dict[str, list[ChannelSpec]] = {n.name: [] for n in nodes}
+    incoming: dict[str, list[ChannelSpec]] = {n.name: [] for n in nodes}
+    seen_pairs: set[tuple[str, str]] = set()
+    for link in links:
+        for end in (link.a, link.b):
+            if end not in by_name:
+                raise PartitionError(
+                    f"cut link {link.a!r}<->{link.b!r} references unknown "
+                    f"partition {end!r} (have {sorted(by_name)})"
+                )
+        if link.a == link.b:
+            raise PartitionError(
+                f"cut link {link.a!r}<->{link.b!r} joins a partition to "
+                "itself — an intra-partition link must not be cut"
+            )
+        if link.latency_s <= 0.0:
+            raise PartitionError(
+                f"backbone link {link.a!r}<->{link.b!r} has "
+                f"latency {link.latency_s!r}s: conservative synchronization "
+                "needs a strictly positive lookahead (a zero-latency link "
+                "admits instantaneous cross-partition influence, so no "
+                "safe-time window exists) — keep such links inside one "
+                "partition instead"
+            )
+        pair = (link.a, link.b) if link.a < link.b else (link.b, link.a)
+        if pair in seen_pairs:
+            raise PartitionError(
+                f"duplicate cut link {link.a!r}<->{link.b!r}"
+            )
+        seen_pairs.add(pair)
+        for src, dst in ((link.a, link.b), (link.b, link.a)):
+            spec = ChannelSpec(
+                channel_id=channel_id(src, dst),
+                src=src,
+                dst=dst,
+                lookahead_s=link.latency_s,
+                kind=link.kind,
+            )
+            outgoing[src].append(spec)
+            incoming[dst].append(spec)
+
+    specs: list[PartitionSpec] = []
+    for index, node in enumerate(nodes):
+        specs.append(
+            PartitionSpec(
+                partition_id=node.name,
+                index=index,
+                builder=node.builder,
+                kwargs=dict(node.kwargs),
+                out_channels=tuple(
+                    sorted(outgoing[node.name], key=lambda c: c.channel_id)
+                ),
+                in_channels=tuple(
+                    sorted(incoming[node.name], key=lambda c: c.channel_id)
+                ),
+            )
+        )
+    return specs

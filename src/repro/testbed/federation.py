@@ -50,6 +50,10 @@ from repro.sdnfw import Datapath, SDNApp
 from repro.services import DEFAULT_CALIBRATION, Calibration, ServiceTemplate, build_catalog
 from repro.sim import Environment
 
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.parallel.model import EdgeWorkload
+    from repro.sim.parallel.partitioner import TopologySpec
+
 #: Name under which a site's shared-state link appears in
 #: ``named_links`` (pair it with the site name to partition it).
 SHARED_STATE = "shared-state"
@@ -86,6 +90,44 @@ class FederationConfig:
             raise ValueError("need at least one client per site")
         if self.registry not in ("public", "private"):
             raise ValueError(f"unknown registry {self.registry!r}")
+
+    def partition_plan(
+        self,
+        n_clients: int | None = None,
+        n_requests: int = 100_000,
+        duration_s: float = 60.0,
+        seed: int = 42,
+    ) -> tuple["EdgeWorkload", "TopologySpec"]:
+        """Derive a partitioned-replay plan from this federation shape.
+
+        Maps the testbed's latency knobs onto the synthetic replay
+        workload of ``repro.sim.parallel.model`` and cuts the topology
+        at the trunk links — one partition per site plus the backbone.
+        Validates the cut eagerly, so a federation configured with a
+        zero-latency trunk (no lookahead window) raises
+        :class:`~repro.sim.parallel.PartitionError` here rather than
+        deadlocking a run later.
+        """
+        from repro.sim.parallel import model as _parallel_model
+
+        workload = _parallel_model.EdgeWorkload(
+            n_sites=self.n_sites,
+            n_clients=(
+                n_clients
+                if n_clients is not None
+                else self.n_sites * self.clients_per_site
+            ),
+            n_requests=n_requests,
+            duration_s=duration_s,
+            client_latency_s=self.client_link_latency_s,
+            egs_latency_s=self.egs_link_latency_s,
+            trunk_latency_s=self.trunk_latency_s,
+            cloud_latency_s=self.cloud_link_latency_s,
+            seed=seed,
+        )
+        topology = _parallel_model.topology_spec(workload)
+        topology.partitions()  # eager validation (e.g. zero-latency trunk)
+        return workload, topology
 
 
 class BackboneApp(SDNApp):

@@ -110,6 +110,82 @@ class TestFlowTable:
         removed = table.remove_matching(cookie="svc-a")
         assert removed == [a] and len(table) == 1
 
+    def test_mixed_priority_installs_keep_master_order(self):
+        # Exercises both install paths: same-or-lower priority appends
+        # at the tail, higher priority falls back to the bisect insert.
+        table = FlowTable()
+        order = [5, 50, 5, 100, 1, 75]
+        for i, prio in enumerate(order):
+            table.install(
+                FlowEntry(FlowMatch(tcp_dst=2000 + i), [Drop()], priority=prio),
+                0.0,
+            )
+        got = [(e.priority, e._order) for e in table]
+        assert got == sorted(got, key=lambda pair: (-pair[0], pair[1]))
+        assert len(table) == len(order)
+
+
+class TestVectorizedSweep:
+    """The numpy sweep path must be indistinguishable from the loop."""
+
+    @staticmethod
+    def _populated_table(n: int = 400) -> tuple[FlowTable, list[FlowEntry]]:
+        table = FlowTable()
+        entries = []
+        for i in range(n):
+            entry = FlowEntry(
+                FlowMatch(tcp_dst=1024 + i),
+                [Drop()],
+                # Mix of idle-only, hard-only, both, and immortal.
+                idle_timeout=float(i % 7) if i % 3 else 0.0,
+                hard_timeout=float(i % 11) if i % 4 else 0.0,
+            )
+            table.install(entry, i * 0.01)
+            if i % 5 == 0:
+                entry.touch(i * 0.01 + 0.5)
+            entries.append(entry)
+        return table, entries
+
+    def test_matches_loop_path_exactly(self, monkeypatch):
+        import repro.net.openflow.table as table_mod
+
+        if table_mod._np is None:
+            pytest.skip("numpy not available")
+        now = 5.0
+        vec_table, _ = self._populated_table()
+        loop_table, _ = self._populated_table()
+        vec_expired, vec_earliest = vec_table.sweep_and_deadline(now)
+        monkeypatch.setattr(table_mod, "_VECTOR_SWEEP_MIN", 10**9)
+        loop_expired, loop_earliest = loop_table.sweep_and_deadline(now)
+
+        assert vec_earliest == loop_earliest
+        assert [
+            (e.match.tcp_dst, reason) for e, reason in vec_expired
+        ] == [(e.match.tcp_dst, reason) for e, reason in loop_expired]
+        assert len(vec_table) == len(loop_table)
+        assert vec_expired  # the workload actually expired something
+
+    def test_vector_path_reports_hard_before_idle(self, monkeypatch):
+        import repro.net.openflow.table as table_mod
+
+        if table_mod._np is None:
+            pytest.skip("numpy not available")
+        monkeypatch.setattr(table_mod, "_VECTOR_SWEEP_MIN", 1)
+        table = FlowTable()
+        both = FlowEntry(
+            FlowMatch(tcp_dst=80), [Drop()], idle_timeout=1.0, hard_timeout=2.0
+        )
+        survivor = FlowEntry(
+            FlowMatch(tcp_dst=81), [Drop()], idle_timeout=10.0
+        )
+        table.install(both, 0.0)
+        table.install(survivor, 0.0)
+        expired, earliest = table.sweep_and_deadline(3.0)
+        # Both timeouts fired; hard wins the reason, as in the loop.
+        assert expired == [(both, REASON_HARD_TIMEOUT)]
+        assert earliest == 10.0  # survivor's last_used + idle
+        assert len(table) == 1
+
 
 class TestSetField:
     def test_rewrites_ip_and_port(self):

@@ -1,0 +1,342 @@
+"""Tests for the sharded data-plane kernel (``repro.sim.parallel``).
+
+The load-bearing gate is byte-identity: the forked parallel execution
+must produce exactly the same latency fingerprints as the serial
+reference, for the same seed.  The edge-case tests pin the conservative
+protocol's corners — zero-latency cuts rejected, idle partitions kept
+alive by null messages, horizon-exact arrivals ordered like serial.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.sim import Environment
+from repro.sim.parallel import (
+    ParallelCoordinator,
+    PartitionError,
+    SerialExecutor,
+    SyncError,
+)
+from repro.sim.parallel.model import (
+    EdgeWorkload,
+    build_specs,
+    combined_fingerprint,
+    totals,
+)
+from repro.sim.parallel.partition import Partition
+from repro.sim.parallel.partitioner import (
+    CutLink,
+    NodeSpec,
+    channel_id,
+    partition_topology,
+)
+
+LOOKAHEAD = 1.0
+
+
+# -- minimal partition models (module level: workers must see them) ----------
+
+
+class _SenderModel:
+    """Sends ``n_messages`` to its single out-channel, one per second."""
+
+    def __init__(self, n_messages: int = 0, peer: str = ""):
+        self.n_messages = n_messages
+        self.peer = peer
+        self.received: list = []
+
+    def setup(self, partition: Partition) -> None:
+        self.partition = partition
+        self.env = partition.env
+        for channel in partition.portals:
+            self.out = partition.portals[channel]
+        for spec in partition.spec.in_channels:
+            partition.on_message(spec.channel_id, self._on_message)
+        for i in range(self.n_messages):
+            self.env.call_at(float(i), self._send, i)
+
+    def _send(self, i: int) -> None:
+        self.out.send(("msg", i))
+
+    def _on_message(self, payload) -> None:
+        self.received.append((self.env.now, payload))
+
+    def result(self):
+        return self.received
+
+
+class _TraceModel(_SenderModel):
+    """Records every arrival *and* local ticks at the same timestamps,
+    so heap tie-breaks at the lookahead horizon become observable."""
+
+    def setup(self, partition: Partition) -> None:
+        super().setup(partition)
+        # Local events at exactly t = k * LOOKAHEAD: the same instants
+        # a default-lookahead message from the peer arrives at.
+        for k in range(1, 4):
+            self.env.call_at(k * LOOKAHEAD, self._tick, k)
+
+    def _tick(self, k: int) -> None:
+        self.received.append((self.env.now, ("tick", k)))
+
+
+def _build_sender(**kwargs) -> _SenderModel:
+    return _SenderModel(**kwargs)
+
+
+def _build_trace(**kwargs) -> _TraceModel:
+    return _TraceModel(**kwargs)
+
+
+def _pair_specs(builder_a, kwargs_a, builder_b, kwargs_b, latency=LOOKAHEAD):
+    return partition_topology(
+        [
+            NodeSpec("a", builder_a, kwargs_a),
+            NodeSpec("b", builder_b, kwargs_b),
+        ],
+        [CutLink("a", "b", latency)],
+    )
+
+
+# -- determinism gate --------------------------------------------------------
+
+
+class TestSerialParallelParity:
+    """The tentpole guarantee: same seed -> byte-identical traces."""
+
+    def test_latency_fingerprints_identical(self):
+        workload = EdgeWorkload(
+            n_sites=2, n_clients=2_000, n_requests=10_000, duration_s=60
+        )
+        specs = build_specs(workload)
+        serial = SerialExecutor(specs).run(workload.until_s)
+        parallel = ParallelCoordinator(specs).run(workload.until_s)
+
+        assert combined_fingerprint(
+            serial.results, workload.n_sites
+        ) == combined_fingerprint(parallel.results, workload.n_sites)
+        # Not just the digests: every per-site counter agrees too.
+        for site in range(workload.n_sites):
+            assert (
+                serial.results[f"site{site}"]
+                == parallel.results[f"site{site}"]
+            )
+        assert serial.stats.total_events == parallel.stats.total_events
+        assert serial.stats.rounds == parallel.stats.rounds
+        assert (
+            serial.stats.cross_partition_messages
+            == parallel.stats.cross_partition_messages
+        )
+        counts = totals(serial.results, workload.n_sites)
+        assert counts["completed"] == counts["issued"] > 0
+
+    def test_stats_expose_per_partition_counters(self):
+        workload = EdgeWorkload(
+            n_sites=2, n_clients=500, n_requests=2_000, duration_s=30
+        )
+        run = SerialExecutor(build_specs(workload)).run(workload.until_s)
+        by_id = {p.partition_id: p for p in run.stats.partitions}
+        assert set(by_id) == {"backbone", "site0", "site1"}
+        for stats in by_id.values():
+            assert stats.events > 0
+            assert stats.nulls_sent > 0
+            row = stats.to_json()
+            assert row["events_per_sec"] is None or row["events_per_sec"] > 0
+        assert run.stats.null_messages > 0
+
+
+# -- partitioner validation --------------------------------------------------
+
+
+class TestPartitioner:
+    def test_zero_latency_cut_rejected(self):
+        with pytest.raises(PartitionError, match="strictly positive lookahead"):
+            _pair_specs(_build_sender, {}, _build_sender, {}, latency=0.0)
+
+    def test_negative_latency_cut_rejected(self):
+        with pytest.raises(PartitionError, match="strictly positive lookahead"):
+            _pair_specs(_build_sender, {}, _build_sender, {}, latency=-1.0)
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(PartitionError, match="empty topology"):
+            partition_topology([], [])
+
+    def test_duplicate_partition_rejected(self):
+        with pytest.raises(PartitionError, match="duplicate partition"):
+            partition_topology(
+                [NodeSpec("a", _build_sender), NodeSpec("a", _build_sender)],
+                [],
+            )
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(PartitionError, match="unknown partition"):
+            partition_topology(
+                [NodeSpec("a", _build_sender)],
+                [CutLink("a", "ghost", 1.0)],
+            )
+
+    def test_self_link_rejected(self):
+        with pytest.raises(PartitionError, match="joins a partition to"):
+            partition_topology(
+                [NodeSpec("a", _build_sender)],
+                [CutLink("a", "a", 1.0)],
+            )
+
+    def test_duplicate_link_rejected(self):
+        nodes = [NodeSpec("a", _build_sender), NodeSpec("b", _build_sender)]
+        with pytest.raises(PartitionError, match="duplicate cut link"):
+            partition_topology(
+                nodes, [CutLink("a", "b", 1.0), CutLink("b", "a", 1.0)]
+            )
+
+    def test_channels_carry_link_latency_as_lookahead(self):
+        specs = _pair_specs(_build_sender, {}, _build_sender, {}, latency=0.25)
+        for spec in specs:
+            for channel in spec.out_channels + spec.in_channels:
+                assert channel.lookahead_s == 0.25
+
+
+# -- conservative-protocol edge cases ----------------------------------------
+
+
+class TestProtocolEdgeCases:
+    def test_idle_partition_emits_nulls_no_deadlock(self):
+        # "b" never sends a data message; only its null messages let
+        # "a" advance past each lookahead window.  A missing-null bug
+        # is a hang, so completing at all is the real assertion.
+        specs = _pair_specs(
+            _build_sender, {"n_messages": 20}, _build_sender, {}
+        )
+        run = SerialExecutor(specs).run(until=25.0)
+        assert [p for _, p in run.results["b"]] == [
+            ("msg", i) for i in range(20)
+        ]
+        by_id = {p.partition_id: p for p in run.stats.partitions}
+        assert by_id["b"].messages_sent == 0
+        assert by_id["b"].nulls_sent > 0
+
+        parallel = ParallelCoordinator(specs).run(until=25.0)
+        assert parallel.results["b"] == run.results["b"]
+
+    def test_horizon_exact_arrival_matches_serial(self):
+        # Messages arrive at exactly t = send + LOOKAHEAD, colliding
+        # with "b"'s local ticks at the same timestamps — the heap
+        # tie-break the horizon rule (strictly-below) protects.
+        specs = _pair_specs(
+            _build_sender, {"n_messages": 3}, _build_trace, {}
+        )
+        serial = SerialExecutor(specs).run(until=10.0)
+        parallel = ParallelCoordinator(specs).run(until=10.0)
+        assert serial.results["b"] == parallel.results["b"]
+        times = [t for t, _ in serial.results["b"]]
+        # Both the tick and the arrival at each k*LOOKAHEAD made it in.
+        assert times.count(LOOKAHEAD) == 2
+        assert times == sorted(times)
+
+    def test_send_undercutting_lookahead_raises(self):
+        specs = _pair_specs(_build_sender, {}, _build_sender, {})
+        partition = Partition(specs[0])
+        portal = partition.portals[channel_id("a", "b")]
+        with pytest.raises(SyncError, match="undercuts the lookahead"):
+            portal.send("too-soon", arrival_ts=LOOKAHEAD / 2)
+        # Exactly at the bound is legal (arrival processes in a later
+        # round, strictly below some future horizon).
+        portal.send("at-bound", arrival_ts=LOOKAHEAD)
+
+    def test_run_below_excludes_limit(self):
+        env = Environment()
+        seen: list[float] = []
+        env.call_at(0.5, seen.append, 0.5)
+        env.call_at(1.0, seen.append, 1.0)
+        env.run_below(1.0)
+        assert seen == [0.5]
+        assert env.peek() == 1.0
+        env.run_below(1.0 + 1e-9)
+        assert seen == [0.5, 1.0]
+
+
+# -- host picklability (partition builders ship host inventories) ------------
+
+
+class TestHostPickling:
+    def _host_pair(self):
+        env = Environment()
+        a = Host(env, "a", MACAddress(1), IPv4Address(0x0A000001))
+        b = Host(env, "b", MACAddress(2), IPv4Address(0x0A000002))
+        link = Link(env, a.iface, b.iface, bandwidth_bps=1e9, latency_s=0.001)
+        return env, a, b, link
+
+    def test_round_trip_strips_runtime_state(self):
+        env, a, _b, _link = self._host_pair()
+        a._pending[1] = env.event()
+        a._port_waiters[80] = [env.event()]
+
+        clone = pickle.loads(pickle.dumps(a))
+
+        assert clone.name == a.name
+        assert clone.ip == a.ip
+        assert clone.iface.mac == a.iface.mac
+        assert clone.iface.ip == a.iface.ip
+        assert clone.env is None
+        assert clone.iface.endpoint is None
+        assert clone.iface.attached is False
+        for attr in Host._EPHEMERAL_STATE:
+            assert getattr(clone, attr) == {}
+        # The original is untouched: pickling must never mutate a live
+        # host's bindings.
+        assert a.env is env
+        assert a.iface.endpoint is not None
+        assert a._pending and a._port_waiters
+
+    def test_rebind_attaches_cold_host_once(self):
+        _env, a, _b, _link = self._host_pair()
+        clone = pickle.loads(pickle.dumps(a))
+        fresh = Environment()
+        clone.rebind(fresh)
+        assert clone.env is fresh
+        with pytest.raises(RuntimeError, match="already bound"):
+            clone.rebind(fresh)
+        with pytest.raises(RuntimeError, match="already bound"):
+            a.rebind(fresh)
+
+    def test_link_lookahead_property(self):
+        _env, _a, _b, link = self._host_pair()
+        assert link.lookahead_s == link.latency_s == 0.001
+        link.latency_s = 0.5
+        assert link.lookahead_s == 0.5
+
+
+# -- testbed tie-in ----------------------------------------------------------
+
+
+class TestFederationPartitionPlan:
+    def test_plan_derives_from_config(self):
+        from repro.testbed.federation import FederationConfig
+
+        config = FederationConfig(n_sites=3, trunk_latency_s=0.004)
+        workload, topology = config.partition_plan(
+            n_clients=300, n_requests=1_000, duration_s=5.0
+        )
+        assert workload.n_sites == 3
+        assert workload.trunk_latency_s == 0.004
+        assert len(topology.nodes) == 4  # 3 sites + backbone
+        assert all(link.latency_s == 0.004 for link in topology.links)
+        specs = topology.partitions()
+        assert all(
+            channel.lookahead_s == 0.004
+            for spec in specs
+            for channel in spec.out_channels
+        )
+
+    def test_zero_latency_trunk_rejected_at_plan_time(self):
+        from repro.testbed.federation import FederationConfig
+
+        config = FederationConfig(n_sites=2, trunk_latency_s=0.0)
+        with pytest.raises(PartitionError, match="strictly positive"):
+            config.partition_plan()

@@ -45,6 +45,21 @@ dumps the raw pstats for ``snakeviz``/``pstats`` digging::
 
     PYTHONPATH=src python tools/bench_throughput.py \
         --profile --scales 10 --profile-out replay10.pstats
+
+Parallel mode (``--parallel SITES``) runs the partitioned synthetic
+replay (``repro.sim.parallel``): for each site count it executes the
+workload twice — single-process serial reference, then one forked
+worker per partition under the conservative coordinator — asserts the
+latency fingerprints are byte-identical, and records both rows (with
+per-worker events/sec and cross-partition message counts) to
+``BENCH_PR6.json``.  ``--big`` appends the 1M-client / 10M-request
+replay pair.  ``--parallel N --check --strict`` reruns the smallest
+recorded pair for that site count and fails on fingerprint mismatch,
+wall-clock regression, or (strict) events/sec drop::
+
+    PYTHONPATH=src python tools/bench_throughput.py --parallel 2,4,8
+    PYTHONPATH=src python tools/bench_throughput.py \
+        --parallel 2 --check --strict
 """
 
 from __future__ import annotations
@@ -52,6 +67,7 @@ from __future__ import annotations
 import argparse
 import cProfile
 import json
+import os
 import pathlib
 import platform
 import pstats
@@ -66,13 +82,16 @@ from benchmarks.perf.harness import (  # noqa: E402
     DEFAULT_SCALES,
     DEFAULT_SEED,
     run_federation_benchmark,
+    run_parallel_benchmark,
     run_replay_benchmark,
 )
 
 SCHEMA = "repro-bench-throughput/1"
 FED_SCHEMA = "repro-bench-federation/1"
+PAR_SCHEMA = "repro-bench-parallel/1"
 DEFAULT_REPORT = _REPO_ROOT / "BENCH_PR3.json"
 DEFAULT_FED_REPORT = _REPO_ROOT / "BENCH_FED.json"
+DEFAULT_PAR_REPORT = _REPO_ROOT / "BENCH_PR6.json"
 
 #: --check warns when events/sec drops below (1 - this) x baseline.
 EVENTS_DROP_WARN = 0.30
@@ -168,7 +187,42 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         help="with --federation: comma-separated site counts "
         "(default: 1,2,4)",
     )
+    parser.add_argument(
+        "--parallel",
+        metavar="SITES",
+        default=None,
+        help="partitioned-replay mode: comma-separated site counts "
+        "(e.g. 2,4,8); each count runs serial + forked-parallel and "
+        f"asserts identical fingerprints; reports to {DEFAULT_PAR_REPORT.name}",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=200_000,
+        help="with --parallel: requests per sweep row (default 200000)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=100_000,
+        help="with --parallel: logical clients per sweep row "
+        "(default 100000)",
+    )
+    parser.add_argument(
+        "--big",
+        action="store_true",
+        help="with --parallel: append the 1M-client / 10M-request "
+        "replay pair (several minutes per mode)",
+    )
     args = parser.parse_args(argv)
+    if args.parallel:
+        # Parallel runs keep their own report too: the synthetic
+        # replay's fingerprints have nothing in common with the trace
+        # replay's.
+        if args.output == DEFAULT_REPORT:
+            args.output = DEFAULT_PAR_REPORT
+        if args.baseline == DEFAULT_REPORT:
+            args.baseline = DEFAULT_PAR_REPORT
     if args.federation:
         # Federation runs keep their own report: fingerprints from the
         # sharded control plane are not comparable to the monolith's.
@@ -278,6 +332,163 @@ def _run_federation_sweep(
     }
 
 
+def _run_parallel_pair(
+    n_sites: int, n_clients: int, n_requests: int, seed: int
+) -> tuple[dict, dict]:
+    """One sweep row: serial reference then forked-parallel, with the
+    byte-identity assertion between them."""
+    print(f"[bench] parallel replay: {n_sites} site(s), "
+          f"{n_clients} clients, {n_requests} requests ...", flush=True)
+    rows = []
+    for parallel in (False, True):
+        result = run_parallel_benchmark(
+            n_sites=n_sites,
+            n_clients=n_clients,
+            n_requests=n_requests,
+            parallel=parallel,
+            seed=seed,
+        )
+        rows.append(result.to_json())
+        print(
+            f"[bench]   {result.mode:<8} wall={result.wall_s:.2f}s "
+            f"events/s={result.events_per_sec:.0f} "
+            f"rounds={result.rounds} "
+            f"msgs={result.cross_partition_messages} "
+            f"nulls={result.null_messages} "
+            f"latency_md5={result.latency_md5[:12]}",
+            flush=True,
+        )
+    serial, parallel_row = rows
+    if serial["latency_md5"] != parallel_row["latency_md5"]:
+        raise AssertionError(
+            f"parallel run diverged from serial at {n_sites} site(s): "
+            f"{parallel_row['latency_md5']} != {serial['latency_md5']}"
+        )
+    return serial, parallel_row
+
+
+def _run_parallel_sweep(
+    site_counts: list[int],
+    n_clients: int,
+    n_requests: int,
+    seed: int,
+    label: str,
+    big: bool,
+) -> dict:
+    runs: list[dict] = []
+    parity: dict[str, bool] = {}
+    speedups: dict[str, float] = {}
+    for n_sites in site_counts:
+        serial, parallel_row = _run_parallel_pair(
+            n_sites, n_clients, n_requests, seed
+        )
+        runs += [serial, parallel_row]
+        parity[str(n_sites)] = True  # _run_parallel_pair asserted it
+        speedups[str(n_sites)] = round(
+            serial["wall_s"] / parallel_row["wall_s"], 2
+        )
+    report = {
+        "schema": PAR_SCHEMA,
+        "label": label,
+        "python": platform.python_version(),
+        # Parallel speedup is bounded by this — a single-core runner
+        # records honest slowdowns (sync overhead with no overlap).
+        "cpu_count": os.cpu_count(),
+        "trace_seed": seed,
+        "runs": runs,
+        "latency_identical_serial_vs_parallel": parity,
+        "speedup_parallel_vs_serial": speedups,
+    }
+    if big:
+        serial, parallel_row = _run_parallel_pair(
+            4, 1_000_000, 10_000_000, seed
+        )
+        report["big_replay"] = {
+            "runs": [serial, parallel_row],
+            "latency_identical": True,
+            "speedup_parallel_vs_serial": round(
+                serial["wall_s"] / parallel_row["wall_s"], 2
+            ),
+        }
+    return report
+
+
+def _parallel_pairs(runs: list[dict]) -> dict[tuple[int, int], dict[str, dict]]:
+    """Group recorded rows into {(n_sites, n_requests): {mode: row}}."""
+    pairs: dict[tuple[int, int], dict[str, dict]] = {}
+    for run in runs:
+        key = (run["n_sites"], run["n_requests"])
+        pairs.setdefault(key, {})[run["mode"]] = run
+    return pairs
+
+
+def _check_parallel(args: argparse.Namespace) -> int:
+    if not args.baseline.exists():
+        print(f"[bench] no parallel baseline at {args.baseline}; run the "
+              "sweep first (--parallel)", file=sys.stderr)
+        return 2
+    recorded = json.loads(args.baseline.read_text())
+    n_sites = int(str(args.parallel).split(",")[0])
+    candidates = [
+        (key, pair)
+        for key, pair in _parallel_pairs(recorded["runs"]).items()
+        if key[0] == n_sites and {"serial", "parallel"} <= pair.keys()
+    ]
+    if not candidates:
+        print(f"[bench] no recorded serial+parallel pair at {n_sites} "
+              f"site(s) in {args.baseline}", file=sys.stderr)
+        return 2
+    (_, n_requests), pair = min(candidates, key=lambda item: item[0][1])
+    reference = pair["serial"]
+    print(f"[bench] parallel smoke check: {n_sites} site(s), "
+          f"{n_requests} requests (tolerance {args.tolerance:g}x)")
+    try:
+        serial, parallel_row = _run_parallel_pair(
+            n_sites,
+            reference["n_clients"],
+            n_requests,
+            recorded["trace_seed"],
+        )
+    except AssertionError as exc:
+        print(f"[bench] FAIL: {exc}", file=sys.stderr)
+        return 1
+    failures = []
+    if serial["latency_md5"] != reference["latency_md5"]:
+        failures.append(
+            f"latency fingerprint at {n_sites} site(s) drifted from the "
+            f"recorded baseline ({serial['latency_md5'][:12]} != "
+            f"{reference['latency_md5'][:12]}) — simulated-time results "
+            "changed"
+        )
+    drops = []
+    for live in (serial, parallel_row):
+        base = pair[live["mode"]]
+        limit = base["wall_s"] * args.tolerance
+        if live["wall_s"] > limit:
+            failures.append(
+                f"{live['mode']} wall-clock at {n_sites} site(s) regressed "
+                f"{live['wall_s'] / base['wall_s']:.2f}x vs recorded "
+                f"{base['wall_s']:.2f}s (allowed {args.tolerance:g}x)"
+            )
+        now, then = live["events_per_sec"], base["events_per_sec"]
+        if now and then and now < then * (1.0 - EVENTS_DROP_WARN):
+            drops.append(
+                f"[bench] WARNING: {live['mode']} events/sec at {n_sites} "
+                f"site(s) dropped {(1 - now / then) * 100:.0f}% vs "
+                f"baseline ({now:.0f} vs {then:.0f})"
+            )
+    for line in drops:
+        print(line, file=sys.stderr)
+    if drops and args.strict:
+        failures.append("--strict: events/sec drop treated as failure")
+    for failure in failures:
+        print(f"[bench] FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"[bench] parallel smoke check ok: fingerprints identical, "
+              f"wall within {args.tolerance:g}x")
+    return 1 if failures else 0
+
+
 def _check_federation(args: argparse.Namespace) -> int:
     if not args.baseline.exists():
         print(f"[bench] no federation baseline at {args.baseline}; run "
@@ -312,12 +523,20 @@ def _check_federation(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     if result.latency_md5 != reference["latency_md5"]:
-        print("[bench] WARNING: federation latency fingerprint drifted "
+        print(f"[bench] FAIL: federation latency fingerprint at "
+              f"{n_sites} site(s), scale {scale}x drifted "
               f"({result.latency_md5[:12]} != "
               f"{reference['latency_md5'][:12]}) — simulated-time "
               "results changed", file=sys.stderr)
         return 1
-    return 0 if result.wall_s <= limit else 1
+    if result.wall_s > limit:
+        print(f"[bench] FAIL: federation wall-clock at {n_sites} site(s), "
+              f"scale {scale}x regressed "
+              f"{result.wall_s / reference['wall_s']:.2f}x vs recorded "
+              f"{reference['wall_s']:.2f}s "
+              f"(allowed {args.tolerance:g}x)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _merge_baseline(report: dict, baseline_path: pathlib.Path) -> None:
@@ -416,12 +635,19 @@ def _check(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     if result.latency_md5 != reference["latency_md5"]:
-        print("[bench] WARNING: latency fingerprint drifted from the "
-              f"recorded baseline ({result.latency_md5[:12]} != "
+        print(f"[bench] FAIL: latency fingerprint at scale {scale}x "
+              f"drifted from the recorded baseline "
+              f"({result.latency_md5[:12]} != "
               f"{reference['latency_md5'][:12]}) — simulated-time "
               "results changed", file=sys.stderr)
         return 1
-    return 0 if result.wall_s <= limit else 1
+    if result.wall_s > limit:
+        print(f"[bench] FAIL: wall-clock at scale {scale}x regressed "
+              f"{result.wall_s / reference['wall_s']:.2f}x vs recorded "
+              f"{reference['wall_s']:.2f}s "
+              f"(allowed {args.tolerance:g}x)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -434,10 +660,28 @@ def main(argv: list[str] | None = None) -> int:
         print("[bench] --federation does not combine with --faults or "
               "--profile", file=sys.stderr)
         return 2
+    if args.parallel and (args.faults or args.profile or args.federation):
+        print("[bench] --parallel does not combine with --faults, "
+              "--profile, or --federation", file=sys.stderr)
+        return 2
     if args.check:
+        if args.parallel:
+            return _check_parallel(args)
         return _check_federation(args) if args.federation else _check(args)
     if args.profile:
         return _profile(args)
+
+    if args.parallel:
+        site_counts = [
+            int(s) for s in str(args.parallel).split(",") if s.strip()
+        ]
+        report = _run_parallel_sweep(
+            site_counts, args.clients, args.requests, args.seed,
+            args.label, args.big,
+        )
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[bench] wrote {args.output}")
+        return 0
 
     scales = [int(s) for s in str(args.scales).split(",") if s.strip()]
     if args.federation:
