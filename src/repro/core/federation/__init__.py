@@ -11,6 +11,8 @@ under control-plane partitions.
 from repro.core.federation.remote import RemoteClusterView
 from repro.core.federation.site import SiteController, SiteDispatcher
 from repro.core.federation.state import (
+    HubLike,
+    RemoteHubHandle,
     ReplicaLink,
     SharedStateHub,
     SiteReplica,
@@ -18,7 +20,9 @@ from repro.core.federation.state import (
 )
 
 __all__ = [
+    "HubLike",
     "RemoteClusterView",
+    "RemoteHubHandle",
     "ReplicaLink",
     "SharedStateHub",
     "SiteController",

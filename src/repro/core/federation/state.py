@@ -43,7 +43,14 @@ if _t.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.faults.breaker import CircuitBreaker
     from repro.net.addressing import IPv4Address
 
-__all__ = ["ReplicaLink", "SharedStateHub", "SiteReplica", "VersionStamp"]
+__all__ = [
+    "HubLike",
+    "RemoteHubHandle",
+    "ReplicaLink",
+    "SharedStateHub",
+    "SiteReplica",
+    "VersionStamp",
+]
 
 
 class VersionStamp(_t.NamedTuple):
@@ -64,6 +71,22 @@ StateKey = _t.Tuple[str, _t.Any]
 StateUpdate = _t.Tuple[str, _t.Any, _t.Any, VersionStamp]
 
 
+class HubLike(_t.Protocol):
+    """What a :class:`SiteReplica`'s link needs from "the hub".
+
+    In the monolithic testbed this is the :class:`SharedStateHub`
+    itself; under the partitioned kernel each site partition holds a
+    :class:`RemoteHubHandle` that forwards writes over a control
+    channel instead.
+    """
+
+    def submit(self, origin: str, update: StateUpdate) -> None: ...
+
+    def on_link_restored(self, site: str) -> None: ...
+
+    def version_of(self, domain: str, key: _t.Any) -> "VersionStamp | None": ...
+
+
 class ReplicaLink:
     """The (partitionable) channel between one site and the hub.
 
@@ -75,9 +98,7 @@ class ReplicaLink:
     both (FIFO, each message paying the normal one-way delay).
     """
 
-    def __init__(
-        self, env: Environment, hub: "SharedStateHub", site: str
-    ) -> None:
+    def __init__(self, env: Environment, hub: HubLike, site: str) -> None:
         self.env = env
         self.hub = hub
         self.site = site
@@ -126,6 +147,11 @@ class SharedStateHub:
         #: One-way site -> hub (and hub -> site) latency.
         self.propagation_delay_s = float(propagation_delay_s)
         self.replicas: dict[str, SiteReplica] = {}
+        #: Remote (cross-partition) sites: site name -> send callable
+        #: shipping one update over that site's control channel.
+        self._remote_sites: dict[
+            str, _t.Callable[[StateUpdate], None]
+        ] = {}
         self._values: dict[StateKey, _t.Any] = {}
         self._versions: dict[StateKey, VersionStamp] = {}
 
@@ -152,15 +178,34 @@ class SharedStateHub:
         self.replicas[site] = replica
         return replica
 
+    def attach_remote(
+        self, site: str, send: _t.Callable[[StateUpdate], None]
+    ) -> None:
+        """Register a site living in *another partition*.
+
+        The hub never holds a replica object for a remote site — just a
+        ``send`` callable that ships one :data:`StateUpdate` over the
+        site's control channel (the partitioned kernel wires it to a
+        portal whose lookahead is :attr:`propagation_delay_s`, so the
+        hub -> site leg pays exactly the in-process delay).
+        """
+        if site in self.replicas or site in self._remote_sites:
+            raise ValueError(f"site {site!r} already connected")
+        self._remote_sites[site] = send
+
     # -- write propagation -------------------------------------------------
 
     def submit(self, origin: str, update: StateUpdate) -> None:
         """A site's write arriving over its (up) link."""
         self.env.call_later(
-            self.propagation_delay_s, self._receive, origin, update
+            self.propagation_delay_s, self.deliver, origin, update
         )
 
-    def _receive(self, origin: str, update: StateUpdate) -> None:
+    def deliver(self, origin: str, update: StateUpdate) -> None:
+        """One write *arriving at the hub* (site -> hub delay already
+        paid): LWW-store it, then fan out to every other site — local
+        replicas via ``call_later``, remote partitions via their
+        control-channel send."""
         domain, key, value, stamp = update
         state_key = (domain, key)
         current = self._versions.get(state_key)
@@ -177,6 +222,13 @@ class SharedStateHub:
                 self.env.call_later(
                     self.propagation_delay_s, replica.apply_remote, update
                 )
+        for site, send in self._remote_sites.items():
+            if site == origin:
+                continue
+            send(update)
+
+    # Pre-partitioning internal name, kept for API stability.
+    _receive = deliver
 
     def on_link_restored(self, site: str) -> None:
         """Drain both directions of a healed site link."""
@@ -367,3 +419,44 @@ class SiteReplica(ControlPlaneState):
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<SiteReplica {self.site} clock={self._clock}>"
+
+
+class RemoteHubHandle:
+    """A site partition's stand-in for the (remote) shared-state hub.
+
+    Satisfies :class:`HubLike` so a :class:`SiteReplica` runs
+    unmodified inside a forked worker:
+
+    * :meth:`submit` ships the update over the site's outbound control
+      channel (the portal's lookahead is the propagation delay, so the
+      site -> hub leg costs exactly what :meth:`SharedStateHub.submit`
+      charges in-process);
+    * :meth:`version_of` answers ``None`` — the authoritative versions
+      live in the backbone partition, so staleness introspection
+      degrades to "never stale".  Crucially it degrades *identically*
+      under the serial executor and the parallel coordinator (both run
+      the same partitioned build), so parity gating is unaffected;
+    * :meth:`on_link_restored` drains the site link's outbox through
+      :meth:`submit` (hub-to-site inbox draining is the backbone
+      partition's job).
+    """
+
+    def __init__(self, send: _t.Callable[[StateUpdate], None]) -> None:
+        self._send = send
+        #: Bound after the ReplicaLink exists (the two reference each
+        #: other); needed only to drain the outbox on link heal.
+        self.link: ReplicaLink | None = None
+
+    def submit(self, origin: str, update: StateUpdate) -> None:
+        self._send(update)
+
+    def on_link_restored(self, site: str) -> None:
+        link = self.link
+        if link is None:  # pragma: no cover - wiring error
+            return
+        outbox, link.outbox = link.outbox, []
+        for update in outbox:
+            self.submit(site, update)
+
+    def version_of(self, domain: str, key: _t.Any) -> VersionStamp | None:
+        return None

@@ -56,6 +56,29 @@ class EdgeServiceApp:
 
 
 @dataclasses.dataclass(frozen=True)
+class AppFactory:
+    """Picklable factory for :class:`EdgeServiceApp` instances.
+
+    Deployment plans (and, federated, the replicated service records
+    that carry them) cross the fork boundary of the partitioned kernel,
+    so the factory must pickle by value — a frozen dataclass instead of
+    a closure.
+    """
+
+    handle_time_s: float
+    response_bytes: int = 120
+    workers: int | None = None
+
+    def __call__(self, env: Environment) -> EdgeServiceApp:
+        return EdgeServiceApp(
+            env,
+            self.handle_time_s,
+            self.response_bytes,
+            workers=self.workers,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class ContainerBehavior:
     """Runtime behaviour of one image."""
 
@@ -71,8 +94,9 @@ class ContainerBehavior:
     def app_factory(self) -> _t.Callable[[Environment], EdgeServiceApp] | None:
         if self.handle_time_s is None:
             return None
-        handle, resp, workers = self.handle_time_s, self.response_bytes, self.workers
-        return lambda env: EdgeServiceApp(env, handle, resp, workers=workers)
+        return AppFactory(
+            self.handle_time_s, self.response_bytes, self.workers
+        )
 
 
 class BehaviorRegistry:

@@ -46,7 +46,17 @@ from repro.sim.parallel.partitioner import (
     NodeSpec,
     PartitionError,
     TopologySpec,
+    channel_id,
     partition_topology,
+)
+from repro.sim.parallel.testbed import (
+    PortalEndpoint,
+    ServiceSpec,
+    TestbedReplay,
+    build_replay,
+    build_replay_specs,
+    replay_topology,
+    run_replay,
 )
 
 __all__ = [
@@ -60,9 +70,17 @@ __all__ = [
     "PartitionModel",
     "PartitionSpec",
     "Portal",
+    "PortalEndpoint",
     "RunStats",
     "SerialExecutor",
+    "ServiceSpec",
     "SyncError",
+    "TestbedReplay",
     "TopologySpec",
+    "build_replay",
+    "build_replay_specs",
+    "channel_id",
     "partition_topology",
+    "replay_topology",
+    "run_replay",
 ]

@@ -57,9 +57,16 @@ class TopologySpec:
         return partition_topology(self.nodes, self.links)
 
 
-def channel_id(src: str, dst: str) -> str:
-    """Canonical directed channel name for a cut edge."""
-    return f"{src}->{dst}"
+def channel_id(src: str, dst: str, kind: str = "data") -> str:
+    """Canonical directed channel name for a cut edge.
+
+    Data channels keep the bare ``src->dst`` form (stable across PRs);
+    other kinds get a ``#kind`` suffix so a data trunk and a control
+    channel between the same pair of islands coexist.
+    """
+    if kind == "data":
+        return f"{src}->{dst}"
+    return f"{src}->{dst}#{kind}"
 
 
 def partition_topology(
@@ -86,7 +93,7 @@ def partition_topology(
 
     outgoing: dict[str, list[ChannelSpec]] = {n.name: [] for n in nodes}
     incoming: dict[str, list[ChannelSpec]] = {n.name: [] for n in nodes}
-    seen_pairs: set[tuple[str, str]] = set()
+    seen_pairs: set[tuple[tuple[str, str], str]] = set()
     for link in links:
         for end in (link.a, link.b):
             if end not in by_name:
@@ -101,22 +108,24 @@ def partition_topology(
             )
         if link.latency_s <= 0.0:
             raise PartitionError(
-                f"backbone link {link.a!r}<->{link.b!r} has "
-                f"latency {link.latency_s!r}s: conservative synchronization "
-                "needs a strictly positive lookahead (a zero-latency link "
-                "admits instantaneous cross-partition influence, so no "
-                "safe-time window exists) — keep such links inside one "
-                "partition instead"
+                f"{link.kind} cut link between {link.a!r} and {link.b!r} "
+                f"has latency {link.latency_s!r}s: conservative "
+                "synchronization needs a strictly positive lookahead (a "
+                "zero-latency link admits instantaneous cross-partition "
+                "influence, so no safe-time window exists) — give the "
+                "FederationConfig trunk/control latency a positive value "
+                "or keep such links inside one partition instead"
             )
         pair = (link.a, link.b) if link.a < link.b else (link.b, link.a)
-        if pair in seen_pairs:
+        if (pair, link.kind) in seen_pairs:
             raise PartitionError(
-                f"duplicate cut link {link.a!r}<->{link.b!r}"
+                f"duplicate cut link {link.a!r}<->{link.b!r} "
+                f"(kind={link.kind!r})"
             )
-        seen_pairs.add(pair)
+        seen_pairs.add((pair, link.kind))
         for src, dst in ((link.a, link.b), (link.b, link.a)):
             spec = ChannelSpec(
-                channel_id=channel_id(src, dst),
+                channel_id=channel_id(src, dst, link.kind),
                 src=src,
                 dst=dst,
                 lookahead_s=link.latency_s,

@@ -53,6 +53,7 @@ from repro.sim import Environment
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.parallel.model import EdgeWorkload
     from repro.sim.parallel.partitioner import TopologySpec
+    from repro.sim.parallel.testbed import TestbedReplay
 
 #: Name under which a site's shared-state link appears in
 #: ``named_links`` (pair it with the site name to partition it).
@@ -128,6 +129,38 @@ class FederationConfig:
         topology = _parallel_model.topology_spec(workload)
         topology.partitions()  # eager validation (e.g. zero-latency trunk)
         return workload, topology
+
+    def testbed_replay(
+        self,
+        n_requests: int = 40,
+        duration_s: float = 4.0,
+        seed: int = 42,
+        service_keys: tuple[str, ...] = ("asm", "nginx"),
+    ) -> tuple["TestbedReplay", "TopologySpec"]:
+        """Derive a *full-testbed* partitioned replay from this shape.
+
+        Unlike :meth:`partition_plan` (a synthetic approximation), the
+        replay builds the real stack — gNB switches, EGS hosts, Docker
+        clusters, clients, and per-site :class:`SiteController`\\ s —
+        inside each partition, with shared-state replication riding a
+        dedicated control channel per site.  The cut is validated
+        eagerly: a zero-latency trunk *or* zero propagation delay
+        leaves the conservative synchronizer without lookahead and
+        raises :class:`~repro.sim.parallel.PartitionError` here
+        instead of deadlocking a run.
+        """
+        from repro.sim.parallel import testbed as _parallel_testbed
+
+        replay = _parallel_testbed.build_replay(
+            self,
+            n_requests=n_requests,
+            duration_s=duration_s,
+            seed=seed,
+            service_keys=service_keys,
+        )
+        topology = _parallel_testbed.replay_topology(replay)
+        topology.partitions()  # eager validation of both channel kinds
+        return replay, topology
 
 
 class BackboneApp(SDNApp):

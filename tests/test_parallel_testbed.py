@@ -1,0 +1,357 @@
+"""Tests for the full-testbed partitioned replay (`repro.sim.parallel.testbed`).
+
+The load-bearing gate: the *real* federated stack — gNB switches, EGS
+hosts, Docker clusters, clients, per-site ``SiteController``\\ s, and
+hub-replicated shared state — sharded one partition per site must
+produce byte-identical latency fingerprints under the forked parallel
+coordinator and the single-process serial reference, at 1, 2, and 4
+sites.  Alongside it: pickle round-trips for everything that crosses
+the fork boundary (the replay plan, packets, replicated state updates,
+fault plans, and the cold-snapshot cluster chain), and the kind-aware
+partitioner that lets a data trunk and a control channel share a cut.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.cluster import DockerCluster
+from repro.containers import Containerd, DockerEngine, Registry
+from repro.containers.registry import PUBLIC_PROFILE
+from repro.faults import FaultPlan
+from repro.net.addressing import IPv4Address, MACAllocator
+from repro.services import DEFAULT_CALIBRATION, build_catalog
+from repro.services.behavior import AppFactory
+from repro.sim import Environment
+from repro.sim.parallel import PartitionError
+from repro.sim.parallel.model import BACKBONE
+from repro.sim.parallel.partitioner import (
+    CutLink,
+    NodeSpec,
+    channel_id,
+    partition_topology,
+)
+from repro.sim.parallel.testbed import (
+    build_replay,
+    client_ip,
+    combined_fingerprint,
+    egs_ip,
+    run_replay,
+    service_ip,
+    totals,
+)
+from repro.testbed.federation import FederationConfig
+
+
+def _small_replay(n_sites: int, seed: int = 42, **kwargs):
+    config = FederationConfig(n_sites=n_sites, clients_per_site=2)
+    return build_replay(
+        config,
+        n_requests=kwargs.pop("n_requests", 5 * n_sites),
+        duration_s=kwargs.pop("duration_s", 2.5),
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestReplayPlan:
+    def test_deterministic_and_picklable(self):
+        a = _small_replay(2)
+        b = _small_replay(2)
+        assert a == b  # same seed, same plan — no hidden draws
+        assert pickle.loads(pickle.dumps(a)) == a
+
+    def test_request_schedule_shape(self):
+        replay = _small_replay(3, n_requests=10)
+        assert len(replay.requests_by_site) == 3
+        assert sum(len(reqs) for reqs in replay.requests_by_site) == 10
+        for site, requests in enumerate(replay.requests_by_site):
+            ats = [at for at, _, _, _ in requests]
+            assert ats == sorted(ats)
+            assert all(at < replay.horizon_s for at in ats)
+            for _, client, service, req_id in requests:
+                assert 0 <= client < replay.config.clients_per_site
+                assert 0 <= service < len(replay.services)
+                assert req_id // 1_000_000 == site
+
+    def test_services_register_before_requests(self):
+        replay = _small_replay(2)
+        first_request = min(
+            at for reqs in replay.requests_by_site for at, _, _, _ in reqs
+        )
+        assert all(s.register_at_s < first_request for s in replay.services)
+
+    def test_addressing_is_disjoint(self):
+        ips = [egs_ip(i) for i in range(4)]
+        ips += [client_ip(i, j) for i in range(4) for j in range(3)]
+        ips += [service_ip(k) for k in range(4)]
+        assert len(set(ips)) == len(ips)
+
+
+class TestFullTestbedParity:
+    """ISSUE acceptance gate: full FederatedTestbed under the parallel
+    kernel at 1/2/4 sites, latency md5s byte-identical to serial."""
+
+    @pytest.mark.parametrize("n_sites", [1, 2, 4])
+    def test_serial_parallel_byte_identity(self, n_sites):
+        replay = _small_replay(n_sites)
+        serial = run_replay(replay, parallel=False)
+        parallel = run_replay(replay, parallel=True)
+        assert combined_fingerprint(serial.results, n_sites) == (
+            combined_fingerprint(parallel.results, n_sites)
+        )
+        counts = totals(serial.results, n_sites)
+        assert counts == totals(parallel.results, n_sites)
+        assert counts["issued"] == 5 * n_sites
+        assert counts["completed"] == counts["issued"]  # all served
+        assert parallel.stats.mode == "parallel"
+        assert serial.stats.rounds == parallel.stats.rounds
+        assert (
+            serial.stats.cross_partition_messages
+            == parallel.stats.cross_partition_messages
+        )
+
+    def test_faulted_replay_keeps_parity(self):
+        # The request window must outlast the first edge deployment so
+        # the outage visibly delays warm-up — a short burst is served
+        # entirely from the cloud and the fault leaves no fingerprint.
+        base = _small_replay(2, seed=7, n_requests=10, duration_s=10.0)
+        outage = FaultPlan(seed=7).registry_outage(
+            2.0, "docker-hub", 8.0, rate=1.0
+        )
+        replay = dataclasses.replace(base, faults_by_site=(outage, None))
+        serial = run_replay(replay, parallel=False)
+        parallel = run_replay(replay, parallel=True)
+        faulted = combined_fingerprint(serial.results, 2)
+        assert faulted == combined_fingerprint(parallel.results, 2)
+        # ... while the outage itself visibly perturbed the timeline.
+        clean = run_replay(base, parallel=False)
+        assert faulted != combined_fingerprint(clean.results, 2)
+
+    def test_results_carry_per_site_counters(self):
+        replay = _small_replay(2)
+        run = run_replay(replay, parallel=False)
+        for site in range(2):
+            row = run.results[f"site{site}"]
+            assert row["issued"] == len(replay.requests_by_site[site])
+            assert row["peak_flow_table"] > 0
+        assert "switch_stats" in run.results["backbone"]
+
+
+class TestForkBoundaryPickling:
+    """Everything the new site build plan ships across the fork pipe
+    must pickle — mirroring the PR 6 Host/NetworkInterface tests."""
+
+    def test_app_factory_round_trip(self):
+        factory = AppFactory(handle_time_s=0.004, response_bytes=64, workers=4)
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone == factory
+        app = clone(Environment())
+        assert app.handle_time_s == 0.004
+
+    def test_fault_plan_round_trip(self):
+        plan = (
+            FaultPlan(seed=3)
+            .registry_outage(1.0, "docker-hub", 5.0, rate=1.0)
+            .node_crash(2.0, "site0-egs", duration_s=1.0)
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert list(clone) == list(plan)
+
+    def test_replicated_service_record_round_trip(self):
+        # The control channels carry StateUpdates whose service values
+        # embed the full deployment plan — AppFactory included.
+        from repro.core import Annotator, ServiceRegistry
+        from repro.services.catalog import ASM
+
+        images, behaviors = build_catalog(DEFAULT_CALIBRATION)
+        registry = ServiceRegistry(Annotator(images, behaviors))
+        service = registry.register(
+            ASM.definition_yaml, service_ip(0), 80, template_key=ASM.key
+        )
+        clone = pickle.loads(pickle.dumps(service))
+        assert clone.name == service.name
+        assert clone.plan.containers[0].app_factory == (
+            service.plan.containers[0].app_factory
+        )
+
+    def _cluster_chain(self, env):
+        macs = MACAllocator()
+        from repro.net import Host
+
+        egs = Host(env, "egs", macs.allocate(), IPv4Address.parse("10.0.1.1"))
+        registry = Registry(env, "docker-hub", PUBLIC_PROFILE)
+        images, _ = build_catalog(DEFAULT_CALIBRATION)
+        for image in images.values():
+            registry.publish(image)
+        runtime = Containerd(env, egs)
+        engine = DockerEngine(env, runtime)
+        return DockerCluster(env, "docker", egs, engine, registry)
+
+    def test_docker_cluster_cold_snapshot(self):
+        cluster = self._cluster_chain(Environment())
+        cold = pickle.loads(pickle.dumps(cluster))
+        for obj in (
+            cold,
+            cold.engine,
+            cold.engine.runtime,
+            cold.image_registry,
+            cold.ingress_host,
+        ):
+            assert obj.env is None
+        # Identity is preserved through the pickle memo: the runtime's
+        # node and the cluster's ingress host are the same EGS.
+        assert cold.engine.runtime.node is cold.ingress_host
+        # The image cache (disk contents) survives the cold snapshot.
+        assert len(cold.image_registry._images) > 0
+
+    def test_docker_cluster_rebind_cascades_once(self):
+        cold = pickle.loads(pickle.dumps(self._cluster_chain(Environment())))
+        env = Environment()
+        cold.rebind(env)
+        assert cold.env is env
+        assert cold.engine.env is env
+        assert cold.engine.runtime.env is env
+        assert cold.engine.runtime._start_slots is not None
+        assert cold.image_registry.env is env
+        assert cold.image_registry._download_slots is not None
+        assert cold.ingress_host.env is env
+
+    @pytest.mark.parametrize("attr", ["engine", "image_registry"])
+    def test_rebind_refuses_live_objects(self, attr):
+        env = Environment()
+        cluster = self._cluster_chain(env)
+        with pytest.raises(RuntimeError, match="cold"):
+            getattr(cluster, attr).rebind(env)
+
+    def test_state_update_round_trip(self):
+        from repro.core.federation.state import VersionStamp
+
+        update = ("instance", ("svc", "site0"), {"cluster": "docker"},
+                  VersionStamp(4, "site0"))
+        clone = pickle.loads(pickle.dumps(update))
+        assert clone == update
+        assert isinstance(clone[3], VersionStamp)
+
+
+class TestKindAwarePartitioner:
+    def test_channel_id_kinds(self):
+        assert channel_id("a", "b") == "a->b"
+        assert channel_id("a", "b", "data") == "a->b"
+        assert channel_id("a", "b", "control") == "a->b#control"
+
+    def test_data_and_control_cut_share_a_pair(self):
+        nodes = [
+            NodeSpec("site0", _NullBuilder, {}),
+            NodeSpec(BACKBONE, _NullBuilder, {}),
+        ]
+        specs = partition_topology(
+            nodes,
+            [
+                CutLink("site0", BACKBONE, 0.002, kind="data"),
+                CutLink("site0", BACKBONE, 0.025, kind="control"),
+            ],
+        )
+        site = next(s for s in specs if s.partition_id == "site0")
+        ids = [c.channel_id for c in site.out_channels]
+        assert ids == ["site0->backbone", "site0->backbone#control"]
+        lookaheads = {c.channel_id: c.lookahead_s for c in site.out_channels}
+        assert lookaheads["site0->backbone"] == 0.002
+        assert lookaheads["site0->backbone#control"] == 0.025
+
+    def test_duplicate_same_kind_rejected_with_kind(self):
+        nodes = [
+            NodeSpec("a", _NullBuilder, {}),
+            NodeSpec("b", _NullBuilder, {}),
+        ]
+        links = [
+            CutLink("a", "b", 0.1, kind="control"),
+            CutLink("b", "a", 0.2, kind="control"),
+        ]
+        with pytest.raises(PartitionError, match=r"kind='control'"):
+            partition_topology(nodes, links)
+
+    def test_zero_latency_error_names_endpoints_and_latency(self):
+        # Satellite fix: the message alone must identify the offending
+        # FederationConfig trunk — both endpoints and the latency.
+        nodes = [
+            NodeSpec("site3", _NullBuilder, {}),
+            NodeSpec(BACKBONE, _NullBuilder, {}),
+        ]
+        with pytest.raises(PartitionError) as excinfo:
+            partition_topology(
+                nodes, [CutLink("site3", BACKBONE, 0.0, kind="control")]
+            )
+        message = str(excinfo.value)
+        assert "'site3'" in message
+        assert "'backbone'" in message
+        assert "0.0" in message
+        assert "control" in message
+        assert "lookahead" in message
+
+    def test_zero_latency_testbed_replay_rejected_eagerly(self):
+        with pytest.raises(PartitionError, match="control"):
+            FederationConfig(
+                n_sites=2, propagation_delay_s=0.0
+            ).testbed_replay(n_requests=2)
+        with pytest.raises(PartitionError, match="data"):
+            FederationConfig(
+                n_sites=2, trunk_latency_s=0.0
+            ).testbed_replay(n_requests=2)
+
+
+def _NullBuilder():  # noqa: N802 - builder stand-in, never called
+    raise AssertionError("builder must not run during planning")
+
+
+class TestD1KernelRows:
+    """Satellite 6: the D1 replay row is kernel-value-free — serial and
+    parallel executors must yield equal rows (distinct cache keys are
+    the engine's job, asserted in test_experiment_engine.py idiom)."""
+
+    def test_rows_identical_across_kernels(self):
+        from repro.experiments.extension_d1_federation import (
+            run_extension_d1_federation,
+        )
+
+        kwargs = dict(
+            site_counts=[1],
+            delays=[0.025],
+            fixed_sites=1,
+            replay_sites=2,
+            replay_requests=6,
+        )
+        serial = run_extension_d1_federation(kernel="serial", **kwargs)
+        parallel = run_extension_d1_federation(kernel="parallel", **kwargs)
+        assert serial.rows == parallel.rows
+        assert serial.extras["replay"]["fingerprint"] == (
+            parallel.extras["replay"]["fingerprint"]
+        )
+        assert serial.extras["replay"]["kernel"] == "serial"
+        assert parallel.extras["replay"]["kernel"] == "parallel"
+
+    def test_kernel_shards_cache_under_distinct_keys(self):
+        from repro.experiments.engine import plan_experiment
+
+        keys = {
+            plan_experiment(
+                "extension_federation",
+                fast=True,
+                overrides={"kernel": kernel, "site_counts": [1]},
+            )
+            .shards[0]
+            .cache_key("same-source-fingerprint")
+            for kernel in ("serial", "parallel")
+        }
+        assert len(keys) == 2
+
+    def test_unknown_kernel_rejected(self):
+        from repro.experiments.extension_d1_federation import (
+            run_extension_d1_federation,
+        )
+
+        with pytest.raises(ValueError, match="kernel"):
+            run_extension_d1_federation(kernel="distributed")

@@ -46,16 +46,21 @@ dumps the raw pstats for ``snakeviz``/``pstats`` digging::
     PYTHONPATH=src python tools/bench_throughput.py \
         --profile --scales 10 --profile-out replay10.pstats
 
-Parallel mode (``--parallel SITES``) runs the partitioned synthetic
-replay (``repro.sim.parallel``): for each site count it executes the
-workload twice — single-process serial reference, then one forked
-worker per partition under the conservative coordinator — asserts the
-latency fingerprints are byte-identical, and records both rows (with
-per-worker events/sec and cross-partition message counts) to
-``BENCH_PR6.json``.  ``--big`` appends the 1M-client / 10M-request
-replay pair.  ``--parallel N --check --strict`` reruns the smallest
-recorded pair for that site count and fails on fingerprint mismatch,
-wall-clock regression, or (strict) events/sec drop::
+Parallel mode (``--parallel SITES``) runs the partitioned replays
+(``repro.sim.parallel``) — the synthetic model *and* the full
+federated testbed sharded per site: for each site count it executes
+each workload twice — single-process serial reference, then one
+forked worker per partition under the conservative coordinator —
+asserts the latency fingerprints are byte-identical, and records all
+rows (with per-worker events/sec, ``overlap = busy_s / wall_s``, and
+cross-partition message counts) to ``BENCH_PR7.json``.  ``--big``
+appends the 1M-client / 10M-request synthetic pair.  ``--parallel N
+--check --strict`` reruns the smallest recorded pair of each workload
+for that site count and fails on fingerprint mismatch, wall-clock
+regression, or (strict) events/sec drop.  Speedup gating is
+CPU-aware: a single-core runner records the sync overhead honestly
+and only warns (no core to overlap on), while a >= 4-core runner
+checking >= 4 sites fails when parallel wall-clock exceeds serial::
 
     PYTHONPATH=src python tools/bench_throughput.py --parallel 2,4,8
     PYTHONPATH=src python tools/bench_throughput.py \
@@ -84,14 +89,19 @@ from benchmarks.perf.harness import (  # noqa: E402
     run_federation_benchmark,
     run_parallel_benchmark,
     run_replay_benchmark,
+    run_testbed_benchmark,
 )
 
 SCHEMA = "repro-bench-throughput/1"
 FED_SCHEMA = "repro-bench-federation/1"
-PAR_SCHEMA = "repro-bench-parallel/1"
+PAR_SCHEMA = "repro-bench-parallel/2"
 DEFAULT_REPORT = _REPO_ROOT / "BENCH_PR3.json"
 DEFAULT_FED_REPORT = _REPO_ROOT / "BENCH_FED.json"
-DEFAULT_PAR_REPORT = _REPO_ROOT / "BENCH_PR6.json"
+DEFAULT_PAR_REPORT = _REPO_ROOT / "BENCH_PR7.json"
+#: Requests per full-testbed replay row (kept small: every request
+#: exercises the real controller/cluster/pull path).
+TESTBED_REQUESTS = 24
+TESTBED_DURATION_S = 3.0
 
 #: --check warns when events/sec drops below (1 - this) x baseline.
 EVENTS_DROP_WARN = 0.30
@@ -333,36 +343,57 @@ def _run_federation_sweep(
 
 
 def _run_parallel_pair(
-    n_sites: int, n_clients: int, n_requests: int, seed: int
+    n_sites: int,
+    n_clients: int | None,
+    n_requests: int,
+    seed: int,
+    testbed: bool = False,
 ) -> tuple[dict, dict]:
     """One sweep row: serial reference then forked-parallel, with the
     byte-identity assertion between them."""
-    print(f"[bench] parallel replay: {n_sites} site(s), "
-          f"{n_clients} clients, {n_requests} requests ...", flush=True)
+    workload = "testbed" if testbed else "synthetic"
+    clients = "full-stack" if testbed else f"{n_clients} clients,"
+    print(f"[bench] parallel {workload} replay: {n_sites} site(s), "
+          f"{clients} {n_requests} requests ...", flush=True)
     rows = []
     for parallel in (False, True):
-        result = run_parallel_benchmark(
-            n_sites=n_sites,
-            n_clients=n_clients,
-            n_requests=n_requests,
-            parallel=parallel,
-            seed=seed,
-        )
+        if testbed:
+            result = run_testbed_benchmark(
+                n_sites=n_sites,
+                n_requests=n_requests,
+                duration_s=TESTBED_DURATION_S,
+                parallel=parallel,
+                seed=seed,
+            )
+        else:
+            result = run_parallel_benchmark(
+                n_sites=n_sites,
+                n_clients=n_clients,
+                n_requests=n_requests,
+                parallel=parallel,
+                seed=seed,
+            )
         rows.append(result.to_json())
+        overlap = max(
+            (w["overlap"] for w in result.workers if w.get("overlap")),
+            default=None,
+        )
         print(
             f"[bench]   {result.mode:<8} wall={result.wall_s:.2f}s "
             f"events/s={result.events_per_sec:.0f} "
             f"rounds={result.rounds} "
             f"msgs={result.cross_partition_messages} "
             f"nulls={result.null_messages} "
+            f"max_overlap={overlap if overlap is not None else 'n/a'} "
             f"latency_md5={result.latency_md5[:12]}",
             flush=True,
         )
     serial, parallel_row = rows
     if serial["latency_md5"] != parallel_row["latency_md5"]:
         raise AssertionError(
-            f"parallel run diverged from serial at {n_sites} site(s): "
-            f"{parallel_row['latency_md5']} != {serial['latency_md5']}"
+            f"parallel {workload} run diverged from serial at {n_sites} "
+            f"site(s): {parallel_row['latency_md5']} != "
+            f"{serial['latency_md5']}"
         )
     return serial, parallel_row
 
@@ -379,14 +410,20 @@ def _run_parallel_sweep(
     parity: dict[str, bool] = {}
     speedups: dict[str, float] = {}
     for n_sites in site_counts:
-        serial, parallel_row = _run_parallel_pair(
-            n_sites, n_clients, n_requests, seed
-        )
-        runs += [serial, parallel_row]
-        parity[str(n_sites)] = True  # _run_parallel_pair asserted it
-        speedups[str(n_sites)] = round(
-            serial["wall_s"] / parallel_row["wall_s"], 2
-        )
+        for testbed in (False, True):
+            serial, parallel_row = _run_parallel_pair(
+                n_sites,
+                n_clients if not testbed else None,
+                n_requests if not testbed else TESTBED_REQUESTS,
+                seed,
+                testbed=testbed,
+            )
+            runs += [serial, parallel_row]
+            key = f"testbed:{n_sites}" if testbed else str(n_sites)
+            parity[key] = True  # _run_parallel_pair asserted it
+            speedups[key] = round(
+                serial["wall_s"] / parallel_row["wall_s"], 2
+            )
     report = {
         "schema": PAR_SCHEMA,
         "label": label,
@@ -413,13 +450,48 @@ def _run_parallel_sweep(
     return report
 
 
-def _parallel_pairs(runs: list[dict]) -> dict[tuple[int, int], dict[str, dict]]:
-    """Group recorded rows into {(n_sites, n_requests): {mode: row}}."""
-    pairs: dict[tuple[int, int], dict[str, dict]] = {}
+def _parallel_pairs(
+    runs: list[dict],
+) -> dict[tuple[str, int, int], dict[str, dict]]:
+    """Group recorded rows into {(workload, sites, requests): {mode: row}}."""
+    pairs: dict[tuple[str, int, int], dict[str, dict]] = {}
     for run in runs:
-        key = (run["n_sites"], run["n_requests"])
+        key = (
+            run.get("workload", "synthetic"),
+            run["n_sites"],
+            run["n_requests"],
+        )
         pairs.setdefault(key, {})[run["mode"]] = run
     return pairs
+
+
+def _speedup_gate(serial: dict, parallel_row: dict, n_sites: int) -> str | None:
+    """CPU-aware wall-speedup assertion for one serial/parallel pair.
+
+    Returns a failure string, or None when the pair passes (or the
+    gate does not apply).  A single-core runner has nothing to overlap
+    on — sync overhead is recorded honestly, the gate is skipped with
+    a warning.  With >= 4 cores and >= 4 sites the partitions genuinely
+    run concurrently, so parallel must be at least as fast as serial.
+    """
+    cores = os.cpu_count() or 1
+    if cores == 1:
+        print(
+            f"[bench] WARNING: single-core runner — skipping the "
+            f"wall-speedup gate at {n_sites} site(s); parallel/serial = "
+            f"{parallel_row['wall_s'] / serial['wall_s']:.2f}x records "
+            "the synchronization overhead honestly",
+            file=sys.stderr,
+        )
+        return None
+    if cores >= 4 and n_sites >= 4 and parallel_row["wall_s"] > serial["wall_s"]:
+        return (
+            f"parallel wall-clock at {n_sites} site(s) on {cores} cores "
+            f"is {parallel_row['wall_s'] / serial['wall_s']:.2f}x serial "
+            f"({parallel_row['wall_s']:.2f}s vs {serial['wall_s']:.2f}s) "
+            "— expected a speedup with real CPU overlap"
+        )
+    return None
 
 
 def _check_parallel(args: argparse.Namespace) -> int:
@@ -429,54 +501,74 @@ def _check_parallel(args: argparse.Namespace) -> int:
         return 2
     recorded = json.loads(args.baseline.read_text())
     n_sites = int(str(args.parallel).split(",")[0])
-    candidates = [
-        (key, pair)
-        for key, pair in _parallel_pairs(recorded["runs"]).items()
-        if key[0] == n_sites and {"serial", "parallel"} <= pair.keys()
-    ]
-    if not candidates:
+    pairs = _parallel_pairs(recorded["runs"])
+    failures: list[str] = []
+    drops: list[str] = []
+    checked = 0
+    for workload in ("synthetic", "testbed"):
+        candidates = [
+            (key, pair)
+            for key, pair in pairs.items()
+            if key[0] == workload
+            and key[1] == n_sites
+            and {"serial", "parallel"} <= pair.keys()
+        ]
+        if not candidates:
+            # Pre-/2 reports carry synthetic rows only; check what is
+            # recorded rather than failing on the report's age.
+            continue
+        (_, _, n_requests), pair = min(
+            candidates, key=lambda item: item[0][2]
+        )
+        reference = pair["serial"]
+        checked += 1
+        print(f"[bench] parallel smoke check [{workload}]: {n_sites} "
+              f"site(s), {n_requests} requests "
+              f"(tolerance {args.tolerance:g}x)")
+        try:
+            serial, parallel_row = _run_parallel_pair(
+                n_sites,
+                reference["n_clients"],
+                n_requests,
+                recorded["trace_seed"],
+                testbed=workload == "testbed",
+            )
+        except AssertionError as exc:
+            print(f"[bench] FAIL: {exc}", file=sys.stderr)
+            return 1
+        if serial["latency_md5"] != reference["latency_md5"]:
+            failures.append(
+                f"{workload} latency fingerprint at {n_sites} site(s) "
+                f"drifted from the recorded baseline "
+                f"({serial['latency_md5'][:12]} != "
+                f"{reference['latency_md5'][:12]}) — simulated-time "
+                "results changed"
+            )
+        for live in (serial, parallel_row):
+            base = pair[live["mode"]]
+            limit = base["wall_s"] * args.tolerance
+            if live["wall_s"] > limit:
+                failures.append(
+                    f"{workload} {live['mode']} wall-clock at {n_sites} "
+                    f"site(s) regressed "
+                    f"{live['wall_s'] / base['wall_s']:.2f}x vs recorded "
+                    f"{base['wall_s']:.2f}s (allowed {args.tolerance:g}x)"
+                )
+            now, then = live["events_per_sec"], base["events_per_sec"]
+            if now and then and now < then * (1.0 - EVENTS_DROP_WARN):
+                drops.append(
+                    f"[bench] WARNING: {workload} {live['mode']} "
+                    f"events/sec at {n_sites} site(s) dropped "
+                    f"{(1 - now / then) * 100:.0f}% vs baseline "
+                    f"({now:.0f} vs {then:.0f})"
+                )
+        gate = _speedup_gate(serial, parallel_row, n_sites)
+        if gate is not None:
+            failures.append(f"{workload}: {gate}")
+    if not checked:
         print(f"[bench] no recorded serial+parallel pair at {n_sites} "
               f"site(s) in {args.baseline}", file=sys.stderr)
         return 2
-    (_, n_requests), pair = min(candidates, key=lambda item: item[0][1])
-    reference = pair["serial"]
-    print(f"[bench] parallel smoke check: {n_sites} site(s), "
-          f"{n_requests} requests (tolerance {args.tolerance:g}x)")
-    try:
-        serial, parallel_row = _run_parallel_pair(
-            n_sites,
-            reference["n_clients"],
-            n_requests,
-            recorded["trace_seed"],
-        )
-    except AssertionError as exc:
-        print(f"[bench] FAIL: {exc}", file=sys.stderr)
-        return 1
-    failures = []
-    if serial["latency_md5"] != reference["latency_md5"]:
-        failures.append(
-            f"latency fingerprint at {n_sites} site(s) drifted from the "
-            f"recorded baseline ({serial['latency_md5'][:12]} != "
-            f"{reference['latency_md5'][:12]}) — simulated-time results "
-            "changed"
-        )
-    drops = []
-    for live in (serial, parallel_row):
-        base = pair[live["mode"]]
-        limit = base["wall_s"] * args.tolerance
-        if live["wall_s"] > limit:
-            failures.append(
-                f"{live['mode']} wall-clock at {n_sites} site(s) regressed "
-                f"{live['wall_s'] / base['wall_s']:.2f}x vs recorded "
-                f"{base['wall_s']:.2f}s (allowed {args.tolerance:g}x)"
-            )
-        now, then = live["events_per_sec"], base["events_per_sec"]
-        if now and then and now < then * (1.0 - EVENTS_DROP_WARN):
-            drops.append(
-                f"[bench] WARNING: {live['mode']} events/sec at {n_sites} "
-                f"site(s) dropped {(1 - now / then) * 100:.0f}% vs "
-                f"baseline ({now:.0f} vs {then:.0f})"
-            )
     for line in drops:
         print(line, file=sys.stderr)
     if drops and args.strict:

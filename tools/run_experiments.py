@@ -44,6 +44,7 @@ for entry in (_REPO_ROOT, _REPO_ROOT / "src"):
 from repro.experiments import EXPERIMENTS  # noqa: E402
 from repro.experiments.engine import (  # noqa: E402
     DEFAULT_CACHE_DIR,
+    FAST_KWARGS,
     run_suite,
 )
 
@@ -92,6 +93,15 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write the wall-clock/cache report as JSON here",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=("serial", "parallel"),
+        default=None,
+        help="run the D1 federation experiment's full-testbed replay "
+        "row under this executor (rows are identical either way — the "
+        "partitioned kernel's byte-identity guarantee — but the shard "
+        "caches under a distinct key per kernel)",
+    )
     args = parser.parse_args(argv)
 
     names = args.names or list(EXPERIMENTS)
@@ -101,6 +111,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
+    overrides = None
+    if args.kernel is not None:
+        if "extension_federation" not in names:
+            print("--kernel only applies to the extension_federation "
+                  "experiment; include it in the run", file=sys.stderr)
+            return 2
+        # Engine overrides REPLACE an experiment's kwargs (the fast
+        # table included), so a fast run must carry the reduced sizes
+        # explicitly alongside the kernel choice.
+        kwargs = dict(FAST_KWARGS["extension_federation"]) if args.fast else {}
+        kwargs["kernel"] = args.kernel
+        overrides = {"extension_federation": kwargs}
+
     started = time.perf_counter()
     results, stats = run_suite(
         names,
@@ -108,6 +131,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache_dir=None if args.no_cache else args.cache_dir,
         fresh=args.fresh,
+        overrides=overrides,
         progress=lambda line: print(f"[engine] {line}", flush=True),
     )
     suite_wall = time.perf_counter() - started
