@@ -189,6 +189,11 @@ class ParallelBenchResult:
     sim_s: float
     #: Synchronization rounds the conservative engine ran.
     rounds: int
+    #: Rounds that actually carried payload packets across a cut; the
+    #: remainder (``rounds - payload_rounds``) were bound-only
+    #: synchronization rounds.  The adaptive engine's whole point is
+    #: keeping ``rounds`` close to ``payload_rounds``.
+    payload_rounds: int
     events: int
     events_per_sec: float
     requests_per_sec: float
@@ -211,6 +216,7 @@ def run_parallel_benchmark(
     duration_s: float = 300.0,
     parallel: bool = False,
     seed: int = DEFAULT_SEED,
+    profile_dir: str | None = None,
 ) -> ParallelBenchResult:
     """Run the synthetic partitioned replay and measure wall-clock.
 
@@ -220,7 +226,8 @@ def run_parallel_benchmark(
     :class:`~repro.sim.parallel.SerialExecutor` reference;
     ``parallel=True`` forks one worker per partition under the
     conservative coordinator.  Same workload + same seed must yield
-    the same ``latency_md5`` in both modes.
+    the same ``latency_md5`` in both modes.  ``profile_dir`` enables
+    per-worker ``cProfile`` dumps under that directory.
     """
     from repro.sim.parallel import ParallelCoordinator, SerialExecutor
     from repro.sim.parallel.model import (
@@ -239,7 +246,9 @@ def run_parallel_benchmark(
     )
     specs = build_specs(workload)
     executor: _t.Any = (
-        ParallelCoordinator(specs) if parallel else SerialExecutor(specs)
+        ParallelCoordinator(specs, profile_dir=profile_dir)
+        if parallel
+        else SerialExecutor(specs, profile_dir=profile_dir)
     )
     run = executor.run(workload.until_s)
     stats = run.stats
@@ -257,6 +266,7 @@ def run_parallel_benchmark(
         wall_s=round(stats.wall_s, 3),
         sim_s=round(workload.until_s, 6),
         rounds=stats.rounds,
+        payload_rounds=stats.payload_rounds,
         events=stats.total_events,
         events_per_sec=round(eps, 1),
         requests_per_sec=round(counts["completed"] / stats.wall_s, 1),
@@ -296,6 +306,7 @@ def run_testbed_benchmark(
     duration_s: float = 4.0,
     parallel: bool = False,
     seed: int = DEFAULT_SEED,
+    profile_dir: str | None = None,
 ) -> ParallelBenchResult:
     """Run the *full-testbed* partitioned replay and measure wall-clock.
 
@@ -318,7 +329,7 @@ def run_testbed_benchmark(
     replay = build_replay(
         config, n_requests=n_requests, duration_s=duration_s, seed=seed
     )
-    run = run_replay(replay, parallel=parallel)
+    run = run_replay(replay, parallel=parallel, profile_dir=profile_dir)
     stats = run.stats
     counts = totals(run.results, n_sites)
     return ParallelBenchResult(
@@ -333,6 +344,7 @@ def run_testbed_benchmark(
         wall_s=round(stats.wall_s, 3),
         sim_s=round(replay.horizon_s, 6),
         rounds=stats.rounds,
+        payload_rounds=stats.payload_rounds,
         events=stats.total_events,
         events_per_sec=round(stats.events_per_sec or 0.0, 1),
         requests_per_sec=round(counts["completed"] / stats.wall_s, 1),

@@ -13,10 +13,15 @@ arrives no earlier than ``t + L``, so *L* is the channel's
 **lookahead** and every partition may safely process local events up
 to the minimum lower-bound timestamp (LBTS) advertised across its
 inbound channels.  Partitions advance in barrier-synchronized rounds;
-each round every out-channel carries either a batch of timestamped
-packet messages (a burst crossing the backbone is ONE message) or a
-pure null message advertising the new bound, so an idle partition can
-never deadlock its neighbours.
+each round every out-channel with traffic carries a batch of
+timestamped packet messages (a burst crossing the backbone is ONE
+message), and every out-channel — busy or idle — piggybacks an **EOT
+promise** (its earliest possible next output time) on the round
+update, so an idle partition can never deadlock its neighbours.  The
+coordinator additionally reduces all partitions' next-event times
+into a global *floor* granted with the next round, so idle stretches
+fast-forward in one round instead of creeping lookahead-by-lookahead
+(see ``coordinator.py``).
 
 Determinism: the serial executor and the parallel (forked-worker)
 coordinator run the *identical* round algorithm over the identical
@@ -30,8 +35,10 @@ CI job.
 from repro.sim.parallel.coordinator import (
     ParallelCoordinator,
     ParallelRun,
+    PartitionStats,
     RunStats,
     SerialExecutor,
+    merged_profile_stats,
 )
 from repro.sim.parallel.partition import (
     ChannelSpec,
@@ -69,6 +76,7 @@ __all__ = [
     "PartitionError",
     "PartitionModel",
     "PartitionSpec",
+    "PartitionStats",
     "Portal",
     "PortalEndpoint",
     "RunStats",
@@ -80,6 +88,7 @@ __all__ = [
     "build_replay",
     "build_replay_specs",
     "channel_id",
+    "merged_profile_stats",
     "partition_topology",
     "replay_topology",
     "run_replay",

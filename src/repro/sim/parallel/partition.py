@@ -17,12 +17,22 @@ boundary stays cheap):
 * packet message: ``(arrival_ts, seq, payload)`` — ``seq`` is the
   sender partition's monotone message counter, making the sort key
   ``(arrival_ts, channel_id, seq)`` total and hash-independent;
-* channel batch: ``(channel_id, lbts, packets)`` — ``lbts`` is the
-  sender's promise that no *future* message on this channel will carry
-  a timestamp below it.  An empty ``packets`` list makes the batch a
-  pure **null message**; one is emitted per out-channel per round
-  whether or not traffic crossed, which is what keeps an idle
-  neighbour from deadlocking the federation.
+* channel batch: ``(channel_id, lbts, packets)`` — emitted only for
+  channels that carried payload this round;
+* bounds: ``{channel_id: lbts}`` — one **EOT promise** per
+  out-channel per round, payload or not.  Each promise is the
+  sender's earliest possible next output time on that channel: its
+  next local event time (clamped by in-flight sends and its own
+  inbound bounds), plus the channel lookahead.  A bound-only channel
+  update is the adaptive equivalent of a classic null message, but it
+  rides the round batch instead of being a message of its own — so
+  the kind-suffixed data/control channel pairs between the same two
+  islands no longer double the null traffic;
+* floor: the coordinator's per-round grant of the global minimum
+  next-event time (see ``coordinator.py``).  Every inbound bound is
+  lifted to at least ``floor + lookahead`` on injection, which is
+  what lets an idle stretch collapse into a single round instead of
+  creeping lookahead-by-lookahead.
 """
 
 from __future__ import annotations
@@ -37,11 +47,14 @@ from repro.sim import Environment
 PacketMessage = tuple[float, int, _t.Any]
 #: One round's traffic on one channel: (channel_id, lbts, packets).
 ChannelBatch = tuple[str, float, list[PacketMessage]]
+#: One round's EOT promises: channel_id -> lower-bound timestamp.
+ChannelBounds = dict[str, float]
 
 
 class SyncError(RuntimeError):
     """A partition violated the conservative-sync contract (e.g. tried
-    to send a message arriving before ``now + lookahead``)."""
+    to send a message arriving before ``now + lookahead`` or before an
+    EOT promise it already advertised)."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,7 +66,9 @@ class ChannelSpec:
     dst: str
     #: Conservative lookahead: no message sent at time ``t`` may arrive
     #: before ``t + lookahead_s``.  Must be strictly positive — the
-    #: partitioner rejects zero-latency cut links.
+    #: partitioner rejects zero-latency cut links.  Data channels
+    #: derive it from the trunk latency, control channels from the
+    #: shared-state hub's propagation delay (usually much larger).
     lookahead_s: float
     #: ``"data"`` for backbone packet channels, ``"control"`` for
     #: shared-state replication channels (same sync rules).
@@ -111,7 +126,8 @@ class Portal:
         It arrives at ``now + lookahead`` by default; pass a later
         ``arrival_ts`` to model extra in-path delay (e.g. client-link
         latency before the trunk).  Arrivals earlier than the lookahead
-        bound would break the safe-time invariant and raise
+        bound — or earlier than an EOT promise this channel already
+        advertised — would break the safe-time invariant and raise
         :class:`SyncError`.
         """
         part = self._partition
@@ -123,6 +139,15 @@ class Portal:
                 f"channel {self.channel_id!r}: arrival_ts {arrival_ts!r} "
                 f"undercuts the lookahead bound {now + self.lookahead_s!r} "
                 f"(now={now!r}, lookahead={self.lookahead_s!r})"
+            )
+        promised = part._sent_lbts[self.channel_id]
+        if arrival_ts < promised:
+            raise SyncError(
+                f"channel {self.channel_id!r}: arrival_ts {arrival_ts!r} "
+                f"undercuts the EOT promise {promised!r} already "
+                f"advertised on this channel (the receiver has been "
+                f"granted safe time up to that bound; an earlier arrival "
+                f"would rewrite its past)"
             )
         self._outbox.append((arrival_ts, next(part._msg_seq), payload))
 
@@ -142,6 +167,7 @@ class Partition:
             cs.channel_id: Portal(self, cs) for cs in spec.out_channels
         }
         self._out_specs = spec.out_channels
+        self._in_specs = spec.in_channels
         # Inbound LBTS per channel: before anything is received, the
         # peer can reach us no earlier than t0 + lookahead.
         self._lbts: dict[str, float] = {
@@ -149,12 +175,14 @@ class Partition:
             for cs in spec.in_channels
         }
         self._handlers: dict[str, _t.Callable[[_t.Any], None]] = {}
-        # Monotone per-channel send bounds (the nulls already promised).
+        # Monotone per-channel EOT promises (the bounds already sent).
         self._sent_lbts: dict[str, float] = {
             cs.channel_id: self.env.now + cs.lookahead_s
             for cs in spec.out_channels
         }
         #: Cross-partition traffic counters (exported in bench JSON).
+        #: ``nulls_sent`` counts bound-only channel updates — rounds a
+        #: channel advertised a new promise without carrying payload.
         self.messages_sent = 0
         self.nulls_sent = 0
         self.messages_received = 0
@@ -184,20 +212,47 @@ class Partition:
         bound = min(self._lbts.values())
         return bound if bound < until else until
 
-    def inject(self, batches: list[ChannelBatch]) -> None:
-        """Apply one round's inbound traffic (packets + null bounds).
+    def inject(
+        self,
+        batches: list[ChannelBatch],
+        bounds: ChannelBounds,
+        floor: float,
+    ) -> None:
+        """Apply one round's grant: packets, EOT promises, and floor.
+
+        ``bounds`` carries the peers' per-channel EOT promises;
+        ``floor`` is the coordinator's global minimum next-event time.
+        No partition can produce an event below the floor, so every
+        inbound bound is lifted to at least ``floor + lookahead`` —
+        the idle fast-forward that lets sparse stretches collapse into
+        one round.  Our own outbound promises are lifted the same way
+        (receivers assumed it from the identical floor), keeping both
+        sides of every channel in exact float agreement.
 
         Messages are injected in ``(arrival_ts, channel_id, seq)``
         order — a total, hash-independent key — so the receiving
         heap's tie-break sequence numbers are identical in serial and
         parallel execution.
         """
+        lbts = self._lbts
+        for channel_id, bound in bounds.items():
+            if bound > lbts[channel_id]:
+                lbts[channel_id] = bound
         pending: list[tuple[float, str, int, _t.Any]] = []
-        for channel_id, lbts, packets in batches:
-            if lbts > self._lbts[channel_id]:
-                self._lbts[channel_id] = lbts
+        for channel_id, bound, packets in batches:
+            if bound > lbts[channel_id]:
+                lbts[channel_id] = bound
             for ts, seq, payload in packets:
                 pending.append((ts, channel_id, seq, payload))
+        for cs in self._in_specs:
+            lifted = floor + cs.lookahead_s
+            if lifted > lbts[cs.channel_id]:
+                lbts[cs.channel_id] = lifted
+        sent = self._sent_lbts
+        for cs in self._out_specs:
+            lifted = floor + cs.lookahead_s
+            if lifted > sent[cs.channel_id]:
+                sent[cs.channel_id] = lifted
         if not pending:
             return
         pending.sort(key=lambda m: (m[0], m[1], m[2]))
@@ -216,29 +271,40 @@ class Partition:
         is what keeps a packet arriving *exactly at* the lookahead
         horizon ordered identically to a serial run.  ``run_below`` is
         the allocation-free variant — this is called once per
-        synchronization round, tens of thousands of times per run.
+        synchronization round, thousands of times per run.
         """
         self.env.run_below(horizon)
 
-    def drain(self, until: float) -> tuple[list[ChannelBatch], float]:
-        """Collect this round's outbound batches and the send bound.
+    def drain(
+        self, until: float
+    ) -> tuple[list[ChannelBatch], ChannelBounds, float]:
+        """Collect this round's outbound traffic and EOT promises.
 
-        Returns ``(batches, lower_bound)`` where every out-channel gets
-        exactly one batch — packets if traffic crossed, a pure null
-        otherwise — and ``lower_bound`` is the earliest time this
-        partition could still act (its next local event or inbound
-        bound, capped at ``until``).
+        Returns ``(batches, bounds, next_local)``:
+
+        * ``batches`` — one batch per out-channel *with payload*;
+        * ``bounds`` — one EOT promise per out-channel, payload or
+          not: ``min(next local event, min inbound bound) +
+          lookahead``, never moving backwards.  With floor-lifted
+          inbound bounds the ``min`` usually resolves to the next
+          local event time — the promise tracks real activity, not
+          the bare ``now + lookahead`` a fixed-step null would carry;
+        * ``next_local`` — the earliest future local event on this
+          partition's heap (capped at ``until``), the partition's
+          contribution to the coordinator's next floor.  An armed
+          fault-injector callback or deadline wakeup is an ordinary
+          heap event, so it counts.
         """
         env = self.env
         peek = env.peek()
-        lower = peek
+        next_local = peek if peek < until else until
+        lower = next_local
         if self._lbts:
             inbound = min(self._lbts.values())
             if inbound < lower:
                 lower = inbound
-        if lower > until:
-            lower = until
         batches: list[ChannelBatch] = []
+        bounds: ChannelBounds = {}
         for cs in self._out_specs:
             outbox = self._outbox[cs.channel_id]
             lbts = lower + cs.lookahead_s
@@ -251,11 +317,11 @@ class Partition:
                 packets = list(outbox)
                 outbox.clear()
                 self.messages_sent += len(packets)
+                batches.append((cs.channel_id, lbts, packets))
             else:
-                packets = []
                 self.nulls_sent += 1
-            batches.append((cs.channel_id, lbts, packets))
-        return batches, lower
+            bounds[cs.channel_id] = lbts
+        return batches, bounds, next_local
 
     def done(self, until: float) -> bool:
         """True when nothing below ``until`` remains locally."""

@@ -7,7 +7,10 @@ backbone :class:`~repro.net.link.Link`.  Cutting exactly those links
 yields one partition per island, and each cut edge becomes a *pair* of
 directed channels (one per direction) whose lookahead is the link's
 propagation latency — the physical guarantee the conservative
-synchronizer runs on.
+synchronizer runs on.  Cut links carry a *kind* (``"data"`` trunks,
+``"control"`` shared-state replication), each deriving its lookahead
+from its own physical latency, so a slow control path never tightens
+the data path's synchronization window or vice versa.
 
 A zero-latency cut link has no lookahead: the neighbouring partition
 could influence this one "instantaneously", so no safe window exists
@@ -55,6 +58,22 @@ class TopologySpec:
 
     def partitions(self) -> list[PartitionSpec]:
         return partition_topology(self.nodes, self.links)
+
+    def min_lookahead_s(self) -> float:
+        """The tightest lookahead across every cut link.
+
+        A *fixed-step* conservative engine advances global time by at
+        most this per round, so ``horizon / min_lookahead_s()`` bounds
+        its round count from below — the reference the adaptive
+        engine's round-collapse tests compare against.  Raises
+        :class:`PartitionError` on a topology with no cut links (every
+        lookahead is infinite there: one free-running partition).
+        """
+        if not self.links:
+            raise PartitionError(
+                "topology has no cut links — min lookahead is undefined"
+            )
+        return min(link.latency_s for link in self.links)
 
 
 def channel_id(src: str, dst: str, kind: str = "data") -> str:
@@ -105,6 +124,12 @@ def partition_topology(
             raise PartitionError(
                 f"cut link {link.a!r}<->{link.b!r} joins a partition to "
                 "itself — an intra-partition link must not be cut"
+            )
+        if not link.kind or "#" in link.kind:
+            raise PartitionError(
+                f"cut link {link.a!r}<->{link.b!r} has invalid kind "
+                f"{link.kind!r}: kinds must be non-empty and free of "
+                "'#' (it delimits the kind suffix in channel ids)"
             )
         if link.latency_s <= 0.0:
             raise PartitionError(

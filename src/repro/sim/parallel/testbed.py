@@ -714,7 +714,17 @@ class BackbonePartitionModel:
 # -- topology + runners -----------------------------------------------------
 
 def replay_topology(replay: TestbedReplay) -> TopologySpec:
-    """Cut the full testbed at the trunks *and* the control channels."""
+    """Cut the full testbed at the trunks *and* the control channels.
+
+    Each kind derives its lookahead from its own physical latency
+    (``FederationConfig.data_lookahead_s`` /
+    ``control_lookahead_s``): data channels ride the trunk, control
+    channels ride the shared-state hub's propagation delay — usually
+    an order of magnitude wider, so replication traffic never forces
+    trunk-sized synchronization rounds.  The adaptive round engine
+    piggybacks both kinds' bounds on the same round batch, so the
+    kind-suffixed channel pairs cost no extra null messages.
+    """
     config = replay.config
     nodes = [NodeSpec(BACKBONE, build_backbone_partition, {"replay": replay})]
     links = []
@@ -726,11 +736,11 @@ def replay_topology(replay: TestbedReplay) -> TopologySpec:
             )
         )
         links.append(
-            CutLink(name, BACKBONE, config.trunk_latency_s, kind="data")
+            CutLink(name, BACKBONE, config.data_lookahead_s, kind="data")
         )
         links.append(
             CutLink(
-                name, BACKBONE, config.propagation_delay_s, kind="control"
+                name, BACKBONE, config.control_lookahead_s, kind="control"
             )
         )
     return TopologySpec(nodes=tuple(nodes), links=tuple(links))
@@ -740,8 +750,17 @@ def build_replay_specs(replay: TestbedReplay) -> list[PartitionSpec]:
     return replay_topology(replay).partitions()
 
 
-def run_replay(replay: TestbedReplay, parallel: bool = False):
-    """Run the full-testbed replay; returns a ``ParallelRun``."""
+def run_replay(
+    replay: TestbedReplay,
+    parallel: bool = False,
+    profile_dir: _t.Any = None,
+):
+    """Run the full-testbed replay; returns a ``ParallelRun``.
+
+    ``profile_dir`` (a directory path) enables per-worker ``cProfile``
+    dumps — merge them with
+    :func:`repro.sim.parallel.coordinator.merged_profile_stats`.
+    """
     from repro.sim.parallel.coordinator import (
         ParallelCoordinator,
         SerialExecutor,
@@ -749,7 +768,9 @@ def run_replay(replay: TestbedReplay, parallel: bool = False):
 
     specs = build_replay_specs(replay)
     executor = (
-        ParallelCoordinator(specs) if parallel else SerialExecutor(specs)
+        ParallelCoordinator(specs, profile_dir=profile_dir)
+        if parallel
+        else SerialExecutor(specs, profile_dir=profile_dir)
     )
     return executor.run(until=replay.horizon_s)
 

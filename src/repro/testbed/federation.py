@@ -92,6 +92,29 @@ class FederationConfig:
         if self.registry not in ("public", "private"):
             raise ValueError(f"unknown registry {self.registry!r}")
 
+    @property
+    def data_lookahead_s(self) -> float:
+        """Lookahead of the partitioned kernel's *data* cut channels.
+
+        A packet entering the trunk at ``t`` cannot reach the far side
+        before ``t + trunk_latency_s`` — the physical guarantee the
+        conservative synchronizer runs on for backbone traffic.
+        """
+        return self.trunk_latency_s
+
+    @property
+    def control_lookahead_s(self) -> float:
+        """Lookahead of the *control* (shared-state) cut channels.
+
+        Replication rides the hub's one-way propagation delay, not the
+        trunk: a state write submitted at ``t`` is delivered remotely
+        no earlier than ``t + propagation_delay_s``.  With the default
+        knobs this is 12.5x the trunk latency, so control channels
+        grant far wider safe-time windows than data channels — the
+        per-kind derivation the adaptive round engine exploits.
+        """
+        return self.propagation_delay_s
+
     def partition_plan(
         self,
         n_clients: int | None = None,

@@ -86,12 +86,48 @@ class _TraceModel(_SenderModel):
         self.received.append((self.env.now, ("tick", k)))
 
 
+class _BoundaryModel(_SenderModel):
+    """One local event exactly at ``at`` (e.g. the run horizon)."""
+
+    def __init__(self, at: float = 0.0, peer: str = ""):
+        super().__init__(peer=peer)
+        self.at = at
+
+    def setup(self, partition: Partition) -> None:
+        super().setup(partition)
+        self.env.call_at(self.at, self._tick)
+
+    def _tick(self) -> None:
+        self.received.append((self.env.now, "tick"))
+
+
+class _LateSenderModel(_SenderModel):
+    """Silent until a single scheduled wakeup at ``at`` sends one
+    message — the sparse-traffic shape idle fast-forward must not skip."""
+
+    def __init__(self, at: float = 0.0, peer: str = ""):
+        super().__init__(peer=peer)
+        self.at = at
+
+    def setup(self, partition: Partition) -> None:
+        super().setup(partition)
+        self.env.call_at(self.at, self._send, 0)
+
+
 def _build_sender(**kwargs) -> _SenderModel:
     return _SenderModel(**kwargs)
 
 
 def _build_trace(**kwargs) -> _TraceModel:
     return _TraceModel(**kwargs)
+
+
+def _build_boundary(**kwargs) -> _BoundaryModel:
+    return _BoundaryModel(**kwargs)
+
+
+def _build_late(**kwargs) -> _LateSenderModel:
+    return _LateSenderModel(**kwargs)
 
 
 def _pair_specs(builder_a, kwargs_a, builder_b, kwargs_b, latency=LOOKAHEAD):
@@ -259,6 +295,115 @@ class TestProtocolEdgeCases:
         assert env.peek() == 1.0
         env.run_below(1.0 + 1e-9)
         assert seen == [0.5, 1.0]
+
+
+# -- adaptive synchronization (EOT promises + idle fast-forward) -------------
+
+
+class TestAdaptiveSync:
+    """The adaptive engine's contract: idle stretches collapse into a
+    handful of rounds, promises track real next-event times, armed
+    fault callbacks pin the floor, and violated promises raise loudly
+    — all without touching byte-identity."""
+
+    def test_idle_tail_fast_forwards(self):
+        # Traffic stops at t=2; a fixed-step engine would still creep
+        # one lookahead (1 s) per round to t=500.  The floor reduction
+        # must collapse the dead tail into O(1) rounds.
+        specs = _pair_specs(
+            _build_sender, {"n_messages": 3}, _build_sender, {}
+        )
+        serial = SerialExecutor(specs).run(until=500.0)
+        parallel = ParallelCoordinator(specs).run(until=500.0)
+        assert serial.results["b"] == parallel.results["b"]
+        assert [p for _, p in serial.results["b"]] == [
+            ("msg", i) for i in range(3)
+        ]
+        assert serial.stats.rounds == parallel.stats.rounds
+        assert serial.stats.rounds < 30  # fixed-step needed ~500
+        assert 0 < serial.stats.payload_rounds <= serial.stats.rounds
+        assert serial.stats.null_rounds == (
+            serial.stats.rounds - serial.stats.payload_rounds
+        )
+
+    def test_permanently_idle_partition_mid_run(self):
+        # "b" never schedules anything after setup: its next_local is
+        # the horizon from round one, so it must neither stall the
+        # floor nor force per-lookahead rounds while "a" plays out a
+        # long schedule on its own clock.
+        specs = _pair_specs(
+            _build_late, {"at": 400.0}, _build_sender, {}
+        )
+        serial = SerialExecutor(specs).run(until=500.0)
+        parallel = ParallelCoordinator(specs).run(until=500.0)
+        assert serial.results["b"] == parallel.results["b"]
+        assert serial.results["b"] == [(401.0, ("msg", 0))]
+        assert serial.stats.rounds == parallel.stats.rounds
+        assert serial.stats.rounds < 30
+
+    def test_horizon_exact_eot_promise(self):
+        # The only pending event sits exactly at the run horizon: the
+        # partition must promise next_local == until, the engine must
+        # terminate in one round, and — like env.run(until) — the
+        # boundary event itself must never execute.
+        specs = _pair_specs(
+            _build_boundary, {"at": 10.0}, _build_sender, {}
+        )
+        serial = SerialExecutor(specs).run(until=10.0)
+        parallel = ParallelCoordinator(specs).run(until=10.0)
+        assert serial.results["a"] == parallel.results["a"] == []
+        assert serial.stats.rounds == parallel.stats.rounds == 1
+
+    def test_drain_promises_track_next_local_event(self):
+        specs = _pair_specs(_build_boundary, {"at": 7.0}, _build_sender, {})
+        partition = Partition(specs[0])
+        cid = channel_id("a", "b")
+        batches, bounds, next_local = partition.drain(until=100.0)
+        assert batches == []
+        assert next_local == 7.0
+        # First round: the inbound bound (t0 + lookahead) still caps
+        # the promise at 1.0 + lookahead.
+        assert bounds[cid] == 1.0 + LOOKAHEAD
+        # Once the coordinator grants the floor it derived from that
+        # next_local, the promise jumps to the real event time.
+        partition.inject([], {}, floor=7.0)
+        _, bounds, next_local = partition.drain(until=100.0)
+        assert next_local == 7.0
+        assert bounds[cid] == 7.0 + LOOKAHEAD
+
+    def test_armed_injector_counts_as_pending_local_event(self):
+        # A FaultPlan wakeup is an ordinary heap callback, so an
+        # otherwise-idle partition must report the fault time as its
+        # next local event — fast-forward may jump TO the injection
+        # instant but never over it.
+        import types
+
+        from repro.faults import FaultPlan
+        from repro.faults.injector import Injector
+
+        specs = _pair_specs(_build_sender, {}, _build_sender, {})
+        partition = Partition(specs[0])
+        plan = FaultPlan(seed=1).registry_outage(7.0, "docker-hub", 3.0)
+        Injector(
+            types.SimpleNamespace(env=partition.env, recorder=None), plan
+        ).arm()
+        _batches, _bounds, next_local = partition.drain(until=100.0)
+        assert next_local == 7.0
+
+    def test_sync_error_names_the_violated_promise(self):
+        specs = _pair_specs(_build_sender, {}, _build_sender, {})
+        partition = Partition(specs[0])
+        # The coordinator granted floor=10: every receiver now assumes
+        # nothing arrives below 10 + lookahead on this channel.
+        partition.inject([], {}, floor=10.0)
+        portal = partition.portals[channel_id("a", "b")]
+        with pytest.raises(SyncError, match="EOT promise") as err:
+            portal.send("rewrites-history", arrival_ts=5.0)
+        message = str(err.value)
+        assert channel_id("a", "b") in message
+        assert repr(10.0 + LOOKAHEAD) in message
+        # At or above the promise is legal.
+        portal.send("at-promise", arrival_ts=10.0 + LOOKAHEAD)
 
 
 # -- host picklability (partition builders ship host inventories) ------------

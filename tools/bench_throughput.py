@@ -50,21 +50,30 @@ Parallel mode (``--parallel SITES``) runs the partitioned replays
 (``repro.sim.parallel``) — the synthetic model *and* the full
 federated testbed sharded per site: for each site count it executes
 each workload twice — single-process serial reference, then one
-forked worker per partition under the conservative coordinator —
-asserts the latency fingerprints are byte-identical, and records all
-rows (with per-worker events/sec, ``overlap = busy_s / wall_s``, and
-cross-partition message counts) to ``BENCH_PR7.json``.  ``--big``
+forked worker per partition under the adaptive conservative
+coordinator — asserts the latency fingerprints are byte-identical,
+and records all rows (with per-worker events/sec, ``overlap = busy_s
+/ wall_s``, cross-partition message counts, and the
+``rounds``/``payload_rounds`` synchronization split) to
+``BENCH_PR8.json``, plus per-workload round-reduction factors against
+the fixed-step ``BENCH_PR7.json`` when it is present.  ``--big``
 appends the 1M-client / 10M-request synthetic pair.  ``--parallel N
 --check --strict`` reruns the smallest recorded pair of each workload
 for that site count and fails on fingerprint mismatch, wall-clock
-regression, or (strict) events/sec drop.  Speedup gating is
-CPU-aware: a single-core runner records the sync overhead honestly
-and only warns (no core to overlap on), while a >= 4-core runner
-checking >= 4 sites fails when parallel wall-clock exceeds serial::
+regression, or (strict) events/sec drop / >30% round-count
+regression.  Speedup gating is CPU-aware: a single-core runner
+records the sync overhead honestly and only warns (no core to
+overlap on), while a >= 4-core runner checking >= 4 sites fails when
+parallel wall-clock exceeds serial.  ``--parallel N --profile``
+profiles the forked run itself — every worker dumps per-process
+cProfile data, merged at the coordinator (``--profile-out`` saves the
+merged pstats)::
 
     PYTHONPATH=src python tools/bench_throughput.py --parallel 2,4,8
     PYTHONPATH=src python tools/bench_throughput.py \
         --parallel 2 --check --strict
+    PYTHONPATH=src python tools/bench_throughput.py \
+        --parallel 2 --profile --profile-out par2.pstats
 """
 
 from __future__ import annotations
@@ -94,10 +103,14 @@ from benchmarks.perf.harness import (  # noqa: E402
 
 SCHEMA = "repro-bench-throughput/1"
 FED_SCHEMA = "repro-bench-federation/1"
-PAR_SCHEMA = "repro-bench-parallel/2"
+#: /3 adds ``payload_rounds`` per row (adaptive-sync round breakdown).
+PAR_SCHEMA = "repro-bench-parallel/3"
 DEFAULT_REPORT = _REPO_ROOT / "BENCH_PR3.json"
 DEFAULT_FED_REPORT = _REPO_ROOT / "BENCH_FED.json"
-DEFAULT_PAR_REPORT = _REPO_ROOT / "BENCH_PR7.json"
+DEFAULT_PAR_REPORT = _REPO_ROOT / "BENCH_PR8.json"
+#: The fixed-step engine's last report — when present, the parallel
+#: sweep embeds per-workload round-reduction factors against it.
+FIXED_STEP_REPORT = _REPO_ROOT / "BENCH_PR7.json"
 #: Requests per full-testbed replay row (kept small: every request
 #: exercises the real controller/cluster/pull path).
 TESTBED_REQUESTS = 24
@@ -105,6 +118,15 @@ TESTBED_DURATION_S = 3.0
 
 #: --check warns when events/sec drops below (1 - this) x baseline.
 EVENTS_DROP_WARN = 0.30
+#: events/sec gating needs a measurable run: rows whose recorded wall
+#: time is below this are pure timer noise (the 0.02 s testbed replay
+#: swings 30%+ run to run), so only the deterministic round-count
+#: gate applies to them.
+EVENTS_GATE_MIN_WALL_S = 0.5
+#: --check warns (and --strict fails) when the adaptive engine needs
+#: more than (1 + this) x the recorded round count at equal
+#: sites/workload — the canary for reintroduced lookahead creep.
+ROUNDS_REGRESSION = 0.30
 
 
 def _parse_args(argv: list[str] | None) -> argparse.Namespace:
@@ -348,6 +370,7 @@ def _run_parallel_pair(
     n_requests: int,
     seed: int,
     testbed: bool = False,
+    profile_dir: str | None = None,
 ) -> tuple[dict, dict]:
     """One sweep row: serial reference then forked-parallel, with the
     byte-identity assertion between them."""
@@ -364,6 +387,7 @@ def _run_parallel_pair(
                 duration_s=TESTBED_DURATION_S,
                 parallel=parallel,
                 seed=seed,
+                profile_dir=profile_dir if parallel else None,
             )
         else:
             result = run_parallel_benchmark(
@@ -372,6 +396,7 @@ def _run_parallel_pair(
                 n_requests=n_requests,
                 parallel=parallel,
                 seed=seed,
+                profile_dir=profile_dir if parallel else None,
             )
         rows.append(result.to_json())
         overlap = max(
@@ -382,6 +407,7 @@ def _run_parallel_pair(
             f"[bench]   {result.mode:<8} wall={result.wall_s:.2f}s "
             f"events/s={result.events_per_sec:.0f} "
             f"rounds={result.rounds} "
+            f"payload_rounds={result.payload_rounds} "
             f"msgs={result.cross_partition_messages} "
             f"nulls={result.null_messages} "
             f"max_overlap={overlap if overlap is not None else 'n/a'} "
@@ -436,6 +462,9 @@ def _run_parallel_sweep(
         "latency_identical_serial_vs_parallel": parity,
         "speedup_parallel_vs_serial": speedups,
     }
+    reduction = _round_reduction(runs)
+    if reduction:
+        report["round_reduction_vs_fixed_step"] = reduction
     if big:
         serial, parallel_row = _run_parallel_pair(
             4, 1_000_000, 10_000_000, seed
@@ -448,6 +477,33 @@ def _run_parallel_sweep(
             ),
         }
     return report
+
+
+def _round_reduction(runs: list[dict]) -> dict[str, float]:
+    """Adaptive-vs-fixed-step round factors against FIXED_STEP_REPORT.
+
+    For every (workload, sites, requests) row present in both sweeps,
+    records ``old_rounds / new_rounds`` — the acceptance evidence that
+    adaptive synchronization collapsed the barrier count (>= 5x on the
+    testbed workload).  Silently empty when the fixed-step report is
+    absent (e.g. a fresh clone).
+    """
+    if not FIXED_STEP_REPORT.exists():
+        return {}
+    old_runs = json.loads(FIXED_STEP_REPORT.read_text()).get("runs", [])
+    old_pairs = _parallel_pairs(old_runs)
+    reduction: dict[str, float] = {}
+    for key, pair in sorted(_parallel_pairs(runs).items()):
+        old = old_pairs.get(key)
+        if not old or "serial" not in old or "serial" not in pair:
+            continue
+        old_rounds = old["serial"].get("rounds")
+        new_rounds = pair["serial"].get("rounds")
+        if old_rounds and new_rounds:
+            reduction[f"{key[0]}:{key[1]}"] = round(
+                old_rounds / new_rounds, 1
+            )
+    return reduction
 
 
 def _parallel_pairs(
@@ -555,12 +611,30 @@ def _check_parallel(args: argparse.Namespace) -> int:
                     f"{base['wall_s']:.2f}s (allowed {args.tolerance:g}x)"
                 )
             now, then = live["events_per_sec"], base["events_per_sec"]
+            if base["wall_s"] < EVENTS_GATE_MIN_WALL_S:
+                now = 0.0
             if now and then and now < then * (1.0 - EVENTS_DROP_WARN):
                 drops.append(
                     f"[bench] WARNING: {workload} {live['mode']} "
                     f"events/sec at {n_sites} site(s) dropped "
                     f"{(1 - now / then) * 100:.0f}% vs baseline "
                     f"({now:.0f} vs {then:.0f})"
+                )
+        # Round-count gate: same workload, same sites, same requests —
+        # more rounds than recorded means the adaptive engine is
+        # creeping again (serial and parallel run the identical round
+        # algorithm, so checking one mode suffices).
+        base_rounds = reference.get("rounds")
+        live_rounds = serial.get("rounds")
+        if base_rounds and live_rounds:
+            if live_rounds > base_rounds * (1.0 + ROUNDS_REGRESSION):
+                drops.append(
+                    f"[bench] WARNING: {workload} round count at "
+                    f"{n_sites} site(s) regressed "
+                    f"{live_rounds / base_rounds:.2f}x vs recorded "
+                    f"{base_rounds} rounds (allowed "
+                    f"{1.0 + ROUNDS_REGRESSION:g}x) — adaptive "
+                    "synchronization is losing its fast-forward"
                 )
         gate = _speedup_gate(serial, parallel_row, n_sites)
         if gate is not None:
@@ -572,12 +646,16 @@ def _check_parallel(args: argparse.Namespace) -> int:
     for line in drops:
         print(line, file=sys.stderr)
     if drops and args.strict:
-        failures.append("--strict: events/sec drop treated as failure")
+        failures.append(
+            "--strict: events/sec drop / round-count regression "
+            "treated as failure"
+        )
     for failure in failures:
         print(f"[bench] FAIL: {failure}", file=sys.stderr)
     if not failures:
         print(f"[bench] parallel smoke check ok: fingerprints identical, "
-              f"wall within {args.tolerance:g}x")
+              f"wall within {args.tolerance:g}x, rounds within "
+              f"{1.0 + ROUNDS_REGRESSION:g}x")
     return 1 if failures else 0
 
 
@@ -674,6 +752,44 @@ def _events_drop_warnings(runs: list[dict], baseline_runs: list[dict]) -> list[s
     return warnings
 
 
+def _profile_parallel(args: argparse.Namespace) -> int:
+    """Profile the forked-parallel synthetic replay, per worker.
+
+    Every worker (one per partition, plus the serial-reference process
+    when it runs) dumps its own ``cProfile`` data; the dumps are merged
+    at the coordinator into one :class:`pstats.Stats`, so the printed
+    table aggregates where *all* partitions spent their time — sync
+    stalls included.  The serial/parallel byte-identity assertion still
+    runs (profiling must never change simulated time).
+    """
+    import tempfile
+
+    from repro.sim.parallel.coordinator import merged_profile_stats
+
+    n_sites = int(str(args.parallel).split(",")[0])
+    print(f"[bench] profiling parallel synthetic replay at {n_sites} "
+          "site(s) (per-worker cProfile; wall-clock numbers are not "
+          "comparable to untraced runs)", flush=True)
+    with tempfile.TemporaryDirectory(prefix="bench-parprof-") as tmp:
+        _serial, parallel_row = _run_parallel_pair(
+            n_sites, args.clients, args.requests, args.seed,
+            profile_dir=tmp,
+        )
+        stats = merged_profile_stats(tmp)
+        if stats is None:  # pragma: no cover - workers always dump
+            print("[bench] no profile dumps were written", file=sys.stderr)
+            return 2
+        print(f"[bench] merged profiles of {parallel_row['n_partitions']} "
+              f"worker(s): rounds={parallel_row['rounds']} "
+              f"payload_rounds={parallel_row['payload_rounds']}")
+        stats.stream = sys.stdout
+        stats.sort_stats("cumulative").print_stats(args.profile_top)
+        if args.profile_out is not None:
+            stats.dump_stats(args.profile_out)
+            print(f"[bench] wrote merged pstats dump to {args.profile_out}")
+    return 0
+
+
 def _profile(args: argparse.Namespace) -> int:
     scale = int(str(args.scales).split(",")[0])
     print(f"[bench] profiling scale {scale}x (cProfile; wall-clock "
@@ -752,15 +868,17 @@ def main(argv: list[str] | None = None) -> int:
         print("[bench] --federation does not combine with --faults or "
               "--profile", file=sys.stderr)
         return 2
-    if args.parallel and (args.faults or args.profile or args.federation):
-        print("[bench] --parallel does not combine with --faults, "
-              "--profile, or --federation", file=sys.stderr)
+    if args.parallel and (args.faults or args.federation):
+        print("[bench] --parallel does not combine with --faults or "
+              "--federation", file=sys.stderr)
         return 2
     if args.check:
         if args.parallel:
             return _check_parallel(args)
         return _check_federation(args) if args.federation else _check(args)
     if args.profile:
+        if args.parallel:
+            return _profile_parallel(args)
         return _profile(args)
 
     if args.parallel:
