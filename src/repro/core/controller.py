@@ -36,6 +36,7 @@ PRIORITY_DEFAULT = 0  # match-all -> cloud uplink
 PRIORITY_INFRA = 2  # destination-based infrastructure forwarding
 PRIORITY_INTERCEPT = 10  # registered service -> controller
 PRIORITY_REDIRECT = 20  # per-(client, service) redirection
+PRIORITY_DRAIN = 25  # per-connection drain during make-before-break
 
 
 class SwitchTopology:
@@ -124,12 +125,27 @@ class EdgeController(SDNApp):
         self.dispatcher = self._make_dispatcher(
             env, clusters, scheduler, calibration, on_instance_change, site
         )
+        # When a background deployment comes up, repoint the *data
+        # plane* (drain entries + fresh redirect flows), not just the
+        # flow memory — otherwise switches keep steering clients at an
+        # endpoint that may since have gone away.
+        self.dispatcher.on_endpoint_ready = self.repoint_service_flows
         #: Optional request predictor for proactive deployment (§VII).
         self.predictor = None
         self.proactive_deployer = None
         #: Redirect flows installed per client: ip -> {(dpid, cookie)}.
         #: Used to tear down stale entries on client migration.
         self._client_cookies: dict[IPv4Address, set[tuple[int, str]]] = {}
+        #: Optional gNB-conntrack lookup the testbed wires in:
+        #: ``(client_ip, dst_ip, dst_port) -> local source ports`` of
+        #: the client's in-flight connections (see
+        #: :meth:`~repro.net.host.Host.tracked_ports`).  When present,
+        #: make-before-break repoints install per-connection drain
+        #: entries so packets of established sessions keep following
+        #: the old path while new sessions take the new one.
+        self.conntrack: _t.Callable[
+            [IPv4Address, IPv4Address, int], tuple[int, ...]
+        ] | None = None
         #: Diagnostics.
         self.stats = {
             "packet_in": 0,
@@ -137,6 +153,8 @@ class EdgeController(SDNApp):
             "dispatched": 0,
             "cloud_fallbacks": 0,
             "scale_downs": 0,
+            "redispatched": 0,
+            "flows_repointed": 0,
         }
 
     def _make_dispatcher(
@@ -256,6 +274,7 @@ class EdgeController(SDNApp):
                 (dpid, cookie)
                 for (dpid, cookie) in cookies
                 if cookie.startswith(f"redirect:{service.name}:")
+                or cookie.startswith(f"drain:{service.name}:")
             }
             for dpid, cookie in stale:
                 datapath = self.datapaths.get(dpid)
@@ -489,6 +508,148 @@ class EdgeController(SDNApp):
             buffer_id=buffer_id,
         )
 
+    # -- make-before-break repoints (migration / healing) ----------------------------------
+
+    def _install_drains(
+        self,
+        datapath: Datapath,
+        client_ip: IPv4Address,
+        client_port_no: int,
+        service: EdgeService,
+        old_endpoint: ServiceEndpoint,
+    ) -> int:
+        """Install per-connection drain entries pinning the client's
+        *in-flight* connections to the old path.
+
+        Installed at :data:`PRIORITY_DRAIN` (above the redirect entries
+        about to be swapped), matched per TCP source port from the
+        gNB-conntrack snapshot, with the switch idle timeout so they
+        expire on their own once the old sessions close.  Returns the
+        number of connections covered; a no-op without a conntrack.
+        """
+        if self.conntrack is None:
+            return 0
+        ports = self.conntrack(client_ip, service.cloud_ip, service.port)
+        if not ports:
+            return 0
+        idle = self.config.switch_idle_timeout_s
+        cookie = f"drain:{service.name}:{client_ip}"
+        known = self._client_cookies.setdefault(client_ip, set())
+        if (datapath.id, cookie) in known:
+            # A previous repoint's drains are still in the table; the
+            # connections they covered are part of this snapshot too.
+            datapath.delete_flows(cookie=cookie)
+        known.add((datapath.id, cookie))
+        to_cloud = (
+            old_endpoint.ip == service.cloud_ip
+            and old_endpoint.port == service.port
+        )
+        if to_cloud:
+            old_out = self.topology.cloud_port(datapath.id)
+            forward_actions: list[_t.Any] = []
+        else:
+            old_out = self.topology.port_for(datapath.id, old_endpoint.ip)
+            forward_actions = [
+                SetField("ip_dst", old_endpoint.ip),
+                SetField("tcp_dst", old_endpoint.port),
+            ]
+            # Reverse drain: responses from the old instance keep being
+            # rewritten back to the cloud address for the client.
+            datapath.add_flow(
+                FlowMatch(
+                    ip_src=old_endpoint.ip,
+                    tcp_src=old_endpoint.port,
+                    ip_dst=client_ip,
+                ),
+                [
+                    SetField("ip_src", service.cloud_ip),
+                    SetField("tcp_src", service.port),
+                    Output(client_port_no),
+                ],
+                priority=PRIORITY_DRAIN,
+                idle_timeout=idle,
+                cookie=cookie,
+            )
+        if old_out is None:
+            return 0
+        for src_port in ports:
+            datapath.add_flow(
+                FlowMatch(
+                    ip_src=client_ip,
+                    tcp_src=src_port,
+                    ip_dst=service.cloud_ip,
+                    tcp_dst=service.port,
+                ),
+                forward_actions + [Output(old_out)],
+                priority=PRIORITY_DRAIN,
+                idle_timeout=idle,
+                cookie=cookie,
+            )
+        return len(ports)
+
+    def repoint_service_flows(
+        self,
+        service: EdgeService,
+        cluster_name: str,
+        endpoint: ServiceEndpoint,
+        from_endpoint: ServiceEndpoint | None = None,
+    ) -> int:
+        """Atomically repoint memorized flows of ``service`` to a new
+        instance, make-before-break.
+
+        Runs in a single event-loop instant (no yields), so for every
+        covered client the conntrack snapshot, the per-connection drain
+        entries, and the redirect swap are one indivisible switch-over:
+        connections opened before it drain on the old path, connections
+        opened after it ride the new one, and the flow-table epoch bump
+        from the add/delete revalidates every memoized route at the
+        same instant.  With ``from_endpoint`` only flows currently
+        pointing there are touched (a migration flips exactly the
+        instance it moved).  Returns the number of flows repointed.
+        """
+        repointed = 0
+        now = self.env.now
+        for flow in self.flow_memory.flows_for_service(service):
+            if from_endpoint is not None and flow.endpoint != from_endpoint:
+                continue
+            if flow.cluster_name == cluster_name and flow.endpoint == endpoint:
+                continue
+            old_endpoint = flow.endpoint
+            client = self.dispatcher.client_locations.get(flow.client_ip)
+            if client is not None:
+                datapath = self.datapaths.get(client.datapath_id)
+                attached = (
+                    datapath is not None
+                    and self.topology.port_for(
+                        client.datapath_id, flow.client_ip
+                    )
+                    == client.in_port
+                )
+                if attached:
+                    self._install_drains(
+                        datapath,
+                        flow.client_ip,
+                        client.in_port,
+                        service,
+                        old_endpoint,
+                    )
+                    self._install_path(
+                        datapath,
+                        flow.client_ip,
+                        client.in_port,
+                        service,
+                        endpoint,
+                        None,
+                    )
+            flow.cluster_name = cluster_name
+            flow.endpoint = endpoint
+            flow.degraded_from = None
+            flow.last_used = now
+            repointed += 1
+        if repointed:
+            self.stats["flows_repointed"] += repointed
+        return repointed
+
     # -- client mobility (Follow-me style handover) ----------------------------------------
 
     def install_host_routes(self, ip: IPv4Address) -> None:
@@ -507,7 +668,12 @@ class EdgeController(SDNApp):
                 notify_removal=False,
             )
 
-    def update_client_location(self, client_ip: IPv4Address) -> None:
+    def update_client_location(
+        self,
+        client_ip: IPv4Address,
+        datapath_id: int | None = None,
+        in_port: int | None = None,
+    ) -> None:
         """Handle a client handover to a different switch.
 
         The testbed updates :attr:`topology` first; this method then
@@ -518,13 +684,72 @@ class EdgeController(SDNApp):
         instead of replaying a possibly far-away instance from memory.
         Other clients' flows (and the idle-expiry machinery) are
         untouched.
+
+        When the handover signal carries the new attachment
+        (``datapath_id``/``in_port``), the client's *degraded* and
+        *remote-pinned* flows are proactively re-dispatched in the
+        background instead of idling until the client's next packet:
+        the scheduler runs again from the new location immediately, the
+        result is memorized, and — when the new attachment is one of
+        this controller's switches — the redirect entries go straight
+        into the flow table.  This closes the stale-redirect window: a
+        relocated session whose old resolution was a fallback (breaker
+        degradation, cross-site pin) heals at handover time, not at
+        idle-out.
         """
+        stale = self.flow_memory.flows_for_client(client_ip)
+        if datapath_id is not None and in_port is not None:
+            self.dispatcher.note_client(client_ip, datapath_id, in_port)
         self.install_host_routes(client_ip)
         for dpid, cookie in self._client_cookies.pop(client_ip, set()):
             datapath = self.datapaths.get(dpid)
             if datapath is not None:
                 datapath.delete_flows(cookie=cookie)
         self.flow_memory.forget_client(client_ip)
+        if datapath_id is None or in_port is None:
+            # Attachment unknown (e.g. the client left for a switch
+            # another controller owns): nothing to re-dispatch *from*
+            # here — the new owner re-resolves on first contact.
+            return
+        for flow in stale:
+            if not (flow.degraded or "/" in flow.cluster_name):
+                continue
+            self.env.process(
+                self._redispatch(flow.service, client_ip),
+                name=f"redispatch:{flow.service.name}:{client_ip}",
+            )
+
+    def _redispatch(self, service: EdgeService, client_ip: IPv4Address):
+        """Background re-resolution of one (client, service) flow after
+        a handover (no packet to answer — memory is warmed, and switch
+        entries are installed eagerly when the recorded attachment is
+        one of ours and current)."""
+        client = self.dispatcher.client_locations.get(client_ip)
+        if client is None:
+            return
+        if self.registry.lookup(service.cloud_ip, service.port) is None:
+            return  # unregistered while the handover was in flight
+        self.stats["redispatched"] += 1
+        resolution: Resolution = yield from self.dispatcher.resolve(
+            service, client
+        )
+        if self.flow_memory.lookup(client_ip, service) is not None:
+            return  # a real packet-in re-resolved first; keep its result
+        self._remember(client_ip, service, resolution)
+        datapath = self.datapaths.get(client.datapath_id)
+        if (
+            datapath is not None
+            and self.topology.port_for(client.datapath_id, client_ip)
+            == client.in_port
+        ):
+            self._install_path(
+                datapath,
+                client_ip,
+                client.in_port,
+                service,
+                resolution.endpoint,
+                None,
+            )
 
     # -- idle scale-down --------------------------------------------------------------------
 

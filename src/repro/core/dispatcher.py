@@ -126,6 +126,15 @@ class Dispatcher:
         #: deployment is the whole cost).  The federated configuration
         #: uses it to announce running/stopped instances to peer sites.
         self.on_instance_change = on_instance_change
+        #: Hook for "the BEST instance became ready after a no-waiting
+        #: redirect".  The controller points this at
+        #: ``repoint_service_flows`` so the *data plane* follows the
+        #: memory repoint (drains + fresh redirect entries) instead of
+        #: leaving switch entries aimed at the old endpoint until they
+        #: idle out.  ``None`` falls back to the memory-only update.
+        self.on_endpoint_ready: (
+            _t.Callable[[EdgeService, str, ServiceEndpoint], int] | None
+        ) = None
         #: Site identifier stamped into published instance records.
         self.site = site
         self.recorder = recorder if recorder is not None else MetricsRecorder()
@@ -151,6 +160,12 @@ class Dispatcher:
         self.breakers = self.state.breakers
         #: (service name, cluster name) -> in-flight deployment process.
         self._inflight: dict[tuple[str, str], Process] = {}
+        #: (service name, cluster name) pairs mid-eviction: a migration
+        #: released the instance and is draining its last sessions, so
+        #: fresh resolutions must not land on it even though its port is
+        #: still open.  Empty (one truthiness check per gather) outside
+        #: active migrations.
+        self.evicting: set[tuple[str, str]] = set()
 
     @property
     def client_locations(self) -> _t.MutableMapping[_t.Any, ClientInfo]:
@@ -189,6 +204,7 @@ class Dispatcher:
         """
         plan = service.plan
         breakers = self.breakers if self.breaker_enabled else None
+        evicting = self.evicting
         states = []
         for cluster in self.clusters:
             blocked = degraded = False
@@ -197,6 +213,22 @@ class Dispatcher:
                 if breaker is not None:
                     blocked = breaker.blocked(self.env.now)
                     degraded = breaker.state is BreakerState.HALF_OPEN
+            if evicting and (service.name, cluster.name) in evicting:
+                # Mid-eviction: the instance only exists to drain its
+                # last sessions; present it as gone-and-unusable so no
+                # new flow is scheduled onto it.
+                states.append(
+                    ClusterState(
+                        cluster=cluster,
+                        running=False,
+                        created=cluster.is_created(plan),
+                        cached=cluster.image_cached(plan),
+                        has_capacity=False,
+                        blocked=True,
+                        degraded=degraded,
+                    )
+                )
+                continue
             states.append(
                 ClusterState(
                     cluster=cluster,
@@ -499,7 +531,12 @@ class Dispatcher:
             return
         endpoint = cluster.endpoint(service.plan)
         if endpoint is not None:
-            self.flow_memory.update_endpoint(service, cluster.name, endpoint)
+            if self.on_endpoint_ready is not None:
+                self.on_endpoint_ready(service, cluster.name, endpoint)
+            else:
+                self.flow_memory.update_endpoint(
+                    service, cluster.name, endpoint
+                )
 
     # -- scale-down -------------------------------------------------------------------------
 

@@ -146,6 +146,7 @@ class SiteController(EdgeController):
         )
         replica.on_service_added = self._on_remote_service_added
         replica.on_service_removed = self._on_remote_service_removed
+        replica.on_instance_changed = self._on_remote_instance_changed
 
     @property
     def site(self) -> str:
@@ -188,6 +189,30 @@ class SiteController(EdgeController):
         redirects, and memorized flows here.  Local deployments are
         torn down by the idle scale-down machinery as flows expire."""
         self._remove_service_flows(service)
+
+    def _on_remote_instance_changed(self, record: InstanceRecord) -> None:
+        """A peer announced an instance transition.  When a remote
+        instance this site has flows pinned to is *withdrawn* (a
+        migration released its source, or a site scaled down), re-drive
+        those clients through the dispatcher immediately instead of
+        letting them idle out against a dead endpoint.  By the
+        make-before-break ordering the destination's running record
+        always replicates in before the source's withdrawal, so the
+        re-resolution lands on the new instance."""
+        if record.running:
+            return
+        withdrawn = f"{record.site}/{record.cluster_name}"
+        service = self.replica.service_named(record.service_name)
+        if service is None:
+            return
+        for flow in self.flow_memory.flows_for_service(service):
+            if flow.cluster_name != withdrawn:
+                continue
+            self.flow_memory.forget(flow)
+            self.env.process(
+                self._redispatch(flow.service, flow.client_ip),
+                name=f"heal:{flow.service.name}:{flow.client_ip}",
+            )
 
     # -- remote-aware flow liveness ------------------------------------------
 

@@ -281,6 +281,10 @@ class SiteReplica(ControlPlaneState):
         #: the site controller uses these to (un)install intercepts.
         self.on_service_added: _t.Callable[[EdgeService], None] | None = None
         self.on_service_removed: _t.Callable[[EdgeService], None] | None = None
+        #: Fired when a *remote* write changes an instance record — the
+        #: site controller uses this to heal flows pinned to an
+        #: instance another site just withdrew (migration release).
+        self.on_instance_changed: _t.Callable[[InstanceRecord], None] | None = None
 
     # -- write plumbing ----------------------------------------------------
 
@@ -325,6 +329,8 @@ class SiteReplica(ControlPlaneState):
             self._clients[key] = value
         elif domain == "instance":
             self._instances[key] = value
+            if remote and self.on_instance_changed is not None:
+                self.on_instance_changed(value)
         else:  # pragma: no cover - new domains must be wired here
             raise ValueError(f"unknown state domain {domain!r}")
 

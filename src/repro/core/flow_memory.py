@@ -132,6 +132,10 @@ class FlowMemory:
             self._flows.pop(flow.key, None)
         return len(stale)
 
+    def flows_for_client(self, client_ip: IPv4Address) -> list[MemorizedFlow]:
+        """Every memorized flow of one client (mobility inspection)."""
+        return [f for f in self._flows.values() if f.client_ip == client_ip]
+
     # -- service-level queries -------------------------------------------------
 
     def flows_for_service(self, service: EdgeService) -> list[MemorizedFlow]:

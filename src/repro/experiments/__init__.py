@@ -36,6 +36,7 @@ from repro.experiments.extension_load import run_extension_load
 from repro.experiments.extension_breakdown import run_extension_breakdown
 from repro.experiments.extension_hierarchy import run_extension_hierarchy
 from repro.experiments.extension_d1_federation import run_extension_d1_federation
+from repro.experiments.extension_m1_migration import run_extension_m1_migration
 
 #: Name -> runner, for the CLI and docs generation.
 EXPERIMENTS = {
@@ -60,6 +61,7 @@ EXPERIMENTS = {
     "extension_breakdown": run_extension_breakdown,
     "extension_hierarchy": run_extension_hierarchy,
     "extension_federation": run_extension_d1_federation,
+    "extension_migration": run_extension_m1_migration,
     "resilience": run_resilience,
 }
 
@@ -81,6 +83,7 @@ __all__ = [
     "run_extension_breakdown",
     "run_extension_d1_federation",
     "run_extension_hierarchy",
+    "run_extension_m1_migration",
     "run_extension_load",
     "run_extension_proactive",
     "run_extension_serverless",

@@ -75,6 +75,7 @@ FAST_KWARGS: dict[str, dict[str, _t.Any]] = {
         "fixed_sites": 2,
     },
     "resilience": {"failure_rates": [0.0, 0.9], "n_rounds": 4},
+    "extension_migration": {"n_clients": 3, "with_planner": False},
 }
 
 

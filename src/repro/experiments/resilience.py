@@ -31,6 +31,30 @@ from repro.testbed import C3Testbed, TestbedConfig
 _CLIENT_ERRORS = (ConnectionRefused, ConnectionReset, ConnectionTimeout)
 
 
+def migration_stats(recorder) -> dict[str, _t.Any]:
+    """Aggregate the live-migration pipeline's recorder surface
+    (:mod:`repro.core.migration`) across all sites: lifecycle counters
+    plus the per-session cost samples.  Zero everywhere on testbeds
+    that never migrate — the shape is stable either way, so any
+    resilience-style report can carry it."""
+    counters = recorder.counters("migrations")
+
+    def total(prefix: str) -> int:
+        return sum(v for k, v in counters.items() if k.startswith(prefix))
+
+    downtimes = recorder.samples("migration/downtime_s")
+    return {
+        "started": total("migrations_started/"),
+        "completed": total("migrations_completed/"),
+        "aborted": total("migrations_aborted/"),
+        "rolled_back": total("migrations_rolled_back/"),
+        "auto_thawed": total("migrations_auto_thawed/"),
+        "bytes_moved": sum(recorder.samples("migration/bytes_moved")),
+        "downtime_per_session_s": downtimes,
+        "downtime_p99_s": percentile(downtimes, 99) if downtimes else None,
+    }
+
+
 def _run_cell(
     failure_rate: float,
     with_breaker: bool,
@@ -101,6 +125,7 @@ def _run_cell(
         "latencies": latencies,
         "deploy_failures": tb.recorder.counter("deploy_failures/docker"),
         "breaker_opens": breaker.stats["opens"] if breaker else 0,
+        "migrations": migration_stats(tb.recorder),
     }
 
 

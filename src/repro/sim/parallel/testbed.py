@@ -101,10 +101,12 @@ if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.testbed.federation import FederationConfig
 
 __all__ = [
+    "MigrationSpec",
     "PortalEndpoint",
     "ServiceSpec",
     "TestbedReplay",
     "build_backbone_partition",
+    "build_migration_replay",
     "build_replay",
     "build_replay_specs",
     "build_site_partition",
@@ -153,6 +155,24 @@ class ServiceSpec:
 
 
 @dataclasses.dataclass(frozen=True)
+class MigrationSpec:
+    """One scheduled live migration in the replay.
+
+    The *destination* site's manager drives it (the pipeline is
+    destination-initiated), so the spec is scheduled in the
+    ``to_site`` partition; its checkpoint traffic crosses the cut
+    trunks as ordinary packets.
+    """
+
+    at_s: float
+    service_index: int
+    from_site: int
+    to_site: int
+    #: "precopy" / "stopcopy" / None (per-template default).
+    mode: str | None = None
+
+
+@dataclasses.dataclass(frozen=True)
 class TestbedReplay:
     """Picklable plan for one full-testbed partitioned run.
 
@@ -181,6 +201,13 @@ class TestbedReplay:
     #: (both build the same partitions), but faulted fingerprints are
     #: never comparable to fault-free ones.
     faults_by_site: tuple[_t.Any, ...] = ()
+    #: Scheduled live migrations (plain data; each is armed in its
+    #: destination partition).  Every site builds its own private
+    #: :class:`~repro.core.migration.BandwidthLedger`; the serial
+    #: executor of a partitioned replay builds the identical set, so
+    #: admission decisions — and hence fingerprints — match by
+    #: construction.
+    migrations: tuple[MigrationSpec, ...] = ()
 
     @property
     def n_sites(self) -> int:
@@ -242,6 +269,43 @@ def build_replay(
         horizon_s=request_start_s + duration_s + 30.0,
         seed=seed,
     )
+
+
+def build_migration_replay(
+    config: "FederationConfig",
+    n_requests: int = 40,
+    duration_s: float = 4.0,
+    seed: int = 42,
+    service_keys: tuple[str, ...] = ("asm", "nginx"),
+) -> TestbedReplay:
+    """A migration-heavy variant of :func:`build_replay`.
+
+    After the request window closes, every service is migrated from
+    its origin site to the next site over — alternating pre-copy and
+    stop-and-copy — so a replay exercises checkpoint transfer over the
+    cut trunks, the make-before-break flip, source release, and
+    replicated withdrawal, under both executors.
+    """
+    replay = build_replay(
+        config,
+        n_requests=n_requests,
+        duration_s=duration_s,
+        seed=seed,
+        service_keys=service_keys,
+    )
+    start = 2.0 + duration_s + 1.0  # past the request window
+    migrations = tuple(
+        MigrationSpec(
+            at_s=start + 0.5 * i,
+            service_index=spec.index,
+            from_site=spec.origin_site,
+            to_site=(spec.origin_site + 1) % config.n_sites,
+            mode="precopy" if i % 2 == 0 else "stopcopy",
+        )
+        for i, spec in enumerate(replay.services)
+        if config.n_sites > 1
+    )
+    return dataclasses.replace(replay, migrations=migrations)
 
 
 # -- the half-link: a LinkEndpoint whose far side is another partition ------
@@ -511,6 +575,39 @@ class SitePartitionModel:
             self.switch, latency_s=config.control_channel_latency_s
         )
 
+        # Live migration: daemon + manager on every site, identically
+        # under both executors.  The ledger is partition-private; the
+        # serial executor builds the same per-site ledgers, so planner
+        # admission is byte-identical.
+        from repro.core.migration import BandwidthLedger, MigrationManager
+
+        clients_by_ip = {client.ip: client for client in self.clients}
+
+        def _conntrack(ip, dst_ip, dst_port):
+            host = clients_by_ip.get(ip)
+            return host.tracked_ports(dst_ip, dst_port) if host else ()
+
+        self.controller.conntrack = _conntrack
+        self.ledger = BandwidthLedger(
+            env,
+            default_capacity_bps=int(
+                config.trunk_bandwidth_bps
+                * getattr(config, "migration_budget_fraction", 0.4)
+            ),
+        )
+        self.manager = MigrationManager(
+            env,
+            self.name,
+            self.controller,
+            self.cluster,
+            self.egs,
+            {f"site{i}": egs_ip(i) for i in range(config.n_sites)},
+            self.ledger,
+        )
+        for mig in self.replay.migrations:
+            if mig.to_site == self.site:
+                env.call_at(mig.at_s, self._start_migration, mig)
+
         # Schedule this site's service registrations and requests.
         for spec in self.replay.services:
             if spec.origin_site == self.site:
@@ -563,6 +660,18 @@ class SitePartitionModel:
         self.issued += 1
         self.env.process(self._run_request(client_idx, service_idx, req_id))
 
+    def _start_migration(self, spec: MigrationSpec) -> None:
+        service = self.controller.registry.lookup(
+            service_ip(spec.service_index), 80
+        )
+        if service is None:
+            # Registration never replicated in (e.g. faulted replay):
+            # identical no-op under both executors.
+            return
+        self.manager.request_migration(
+            service.name, f"site{spec.from_site}", mode=spec.mode
+        )
+
     def _run_request(self, client_idx: int, service_idx: int, req_id: int):
         template = template_by_key(self.replay.services[service_idx].key)
         try:
@@ -586,12 +695,26 @@ class SitePartitionModel:
     # -- results ----------------------------------------------------------
 
     def result(self) -> dict[str, _t.Any]:
+        migration_digest = hashlib.md5()
+        for o in self.manager.outcomes:
+            migration_digest.update(
+                f"{o.service_name}:{o.from_site}->{o.to_site}:{o.mode}:"
+                f"{o.rounds}:{o.bytes_moved}:{int(o.completed)}:"
+                f"{o.failed_phase}:{o.downtime_s:.17g}\n".encode("ascii")
+            )
         return {
             "site": self.site,
             "issued": self.issued,
             "completed": self.completed,
             "failed": self.failed,
             "latency_md5": self._digest.hexdigest(),
+            "migration_md5": migration_digest.hexdigest(),
+            "migrations_completed": sum(
+                1 for o in self.manager.outcomes if o.completed
+            ),
+            "migrations_aborted": sum(
+                1 for o in self.manager.outcomes if not o.completed
+            ),
             "peak_flow_table": int(self.switch.table.peak_size),
             "switch_stats": dict(self.switch.stats),
         }

@@ -217,6 +217,16 @@ class C3Testbed:
             self.switch, latency_s=self.config.control_channel_latency_s
         )
 
+        def _conntrack(client_ip, dst_ip, dst_port):
+            # The gNB's connection-tracking view (drain installation):
+            # stood in for by the client host's own socket table.
+            for client in self.clients:
+                if client.ip == client_ip:
+                    return client.tracked_ports(dst_ip, dst_port)
+            return ()
+
+        self.controller.conntrack = _conntrack
+
         self._cloud_apps: dict[str, _t.Any] = {}
         # Let the controller finish installing the infrastructure rules
         # (default route, per-host forwarding) before any traffic flows;
@@ -325,7 +335,7 @@ class C3Testbed:
         self.settle(0.01)
         return client
 
-    def _wire_client(self, client: Host, switch: OpenFlowSwitch) -> None:
+    def _wire_client(self, client: Host, switch: OpenFlowSwitch) -> int:
         port_no, iface = switch.add_port(self._macs.allocate())
         Link(
             self.env,
@@ -340,6 +350,7 @@ class C3Testbed:
                 self.topology.register_host(
                     dpid, client.ip, self._port_toward(dpid, switch.datapath_id)
                 )
+        return port_no
 
     def move_client(self, client: Host, gnb: OpenFlowSwitch) -> None:
         """Hand a client over to another gNB (same IP, new attachment).
@@ -349,13 +360,17 @@ class C3Testbed:
         redirect flows, and invalidates its memorized flows — the next
         request from the new location is re-resolved by the scheduler
         instead of replaying a resolution made for the old switch.
+        Degraded flows are proactively re-dispatched from the new
+        attachment instead of waiting for the client's next packet.
         """
         old_endpoint = client.iface.endpoint
         if old_endpoint is not None:
             old_endpoint.link.down = True
             client.iface.endpoint = None
-        self._wire_client(client, gnb)
-        self.controller.update_client_location(client.ip)
+        port_no = self._wire_client(client, gnb)
+        self.controller.update_client_location(
+            client.ip, gnb.datapath_id, port_no
+        )
         self.settle(0.05)
 
     def add_serverless(

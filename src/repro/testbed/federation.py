@@ -39,6 +39,7 @@ from repro.core import (
 )
 from repro.core.controller import PRIORITY_DEFAULT, PRIORITY_INFRA
 from repro.core.federation import SharedStateHub, SiteController, SiteReplica
+from repro.core.migration import BandwidthLedger, MigrationManager, MigrationOutcome
 from repro.core.service_registry import EdgeService
 from repro.metrics import MetricsRecorder
 from repro.net import Host, Link
@@ -58,6 +59,10 @@ if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Name under which a site's shared-state link appears in
 #: ``named_links`` (pair it with the site name to partition it).
 SHARED_STATE = "shared-state"
+
+#: Name under which a site's trunk (gNB <-> backbone) link appears in
+#: ``named_links`` (pair it with the site name to partition it).
+BACKBONE = "backbone"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,6 +88,9 @@ class FederationConfig:
     cloud_link_bandwidth_bps: float = 1 * GBPS
     control_channel_latency_s: float = 150e-6
     auto_scale_down: bool = False
+    #: Share of each trunk's bandwidth the migration planner may
+    #: commit to checkpoint transfers (the rest stays with data).
+    migration_budget_fraction: float = 0.4
 
     def __post_init__(self) -> None:
         if self.n_sites < 1:
@@ -245,6 +253,8 @@ class Site:
     trunk_port: int
     #: Port on the backbone toward this site.
     backbone_port: int
+    #: Live-migration endpoint (wired after all sites exist).
+    manager: "MigrationManager | None" = None
 
 
 class FederatedTestbed:
@@ -332,6 +342,41 @@ class FederatedTestbed:
             site.controller.attach(
                 site.switch, latency_s=self.config.control_channel_latency_s
             )
+
+        # -- live migration -------------------------------------------------
+        # One shared ledger: every site's planner sees the same trunk
+        # commitments, so concurrent inbound migrations at different
+        # sites cannot jointly oversubscribe a source trunk.
+        self.ledger = BandwidthLedger(
+            self.env,
+            default_capacity_bps=int(
+                self.config.trunk_bandwidth_bps
+                * self.config.migration_budget_fraction
+            ),
+        )
+        peers = {site.name: site.egs.ip for site in self.sites}
+        hosts_by_ip = {client.ip: client for client in self.clients}
+
+        def _conntrack(client_ip, dst_ip, dst_port):
+            # The gNB's connection-tracking view: which source ports of
+            # this client have live (or half-open) conversations with
+            # the service address.  Stood in for by the client host's
+            # own socket table — identical information, zero protocol.
+            host = hosts_by_ip.get(client_ip)
+            return host.tracked_ports(dst_ip, dst_port) if host else ()
+
+        for site in self.sites:
+            site.controller.conntrack = _conntrack
+            site.manager = MigrationManager(
+                self.env,
+                site.name,
+                site.controller,
+                site.cluster,
+                site.egs,
+                peers,
+                self.ledger,
+            )
+
         self._cloud_apps: dict[str, _t.Any] = {}
         self.settle(0.1)
 
@@ -354,13 +399,14 @@ class FederatedTestbed:
             self._macs.allocate()
         )
         trunk_port, trunk_iface = switch.add_port(self._macs.allocate())
-        Link(
+        trunk_link = Link(
             self.env,
             trunk_iface,
             backbone_iface,
             self.config.trunk_bandwidth_bps,
             self.config.trunk_latency_s,
         )
+        self.named_links[(name, BACKBONE)] = trunk_link
         topology.set_cloud_port(dpid, trunk_port)
 
         # EGS with its own runtime + Docker cluster.
@@ -562,11 +608,33 @@ class FederatedTestbed:
                 site.topology.register_host(
                     site.switch.datapath_id, client.ip, site.trunk_port
                 )
-        # Origin tears down stale flows + memory; target installs routes.
+        # Origin tears down stale flows + memory; target installs
+        # routes and learns the new attachment, so subsequent proactive
+        # re-dispatches (migration healing) can install eagerly there.
         origin.controller.update_client_location(client.ip)
-        target.controller.install_host_routes(client.ip)
+        target.controller.update_client_location(
+            client.ip, target.switch.datapath_id, port_no
+        )
         self.backbone.install_host_route(client.ip)
         self.settle(0.05)
+
+    # -- live migration ----------------------------------------------------
+
+    def migrate(
+        self,
+        service: EdgeService,
+        from_site: "Site",
+        to_site: "Site",
+        mode: str | None = None,
+    ) -> "MigrationOutcome":
+        """Drive one migration to completion from outside the
+        simulation and return its outcome."""
+        assert to_site.manager is not None
+        done = to_site.manager.request_migration(
+            service.name, from_site.name, mode=mode
+        )
+        outcome: MigrationOutcome = self.env.run(until=done)
+        return outcome
 
     # -- driving requests --------------------------------------------------
 

@@ -85,7 +85,7 @@ class TestExperimentResult:
             "ablation_flow_occupancy",
             "extension_serverless", "extension_proactive", "extension_load",
             "extension_breakdown", "extension_hierarchy",
-            "extension_federation", "resilience",
+            "extension_federation", "extension_migration", "resilience",
         }
         assert set(EXPERIMENTS) == expected
 

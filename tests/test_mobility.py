@@ -207,3 +207,51 @@ class TestHandover:
         result = tb.run_request(client, svc, NGINX.request)
         assert result.response.status == 200
         assert seen and all(ip == svc.cloud_ip for ip in seen)
+
+
+class TestProactiveRedispatch:
+    """Regression: handover used to only *forget* the moved client's
+    flows, so a degraded resolution (breaker fallback, cross-site pin)
+    kept steering the session at the old fallback until the idle
+    timeout.  ``update_client_location`` now re-dispatches those flows
+    proactively when it learns the new attachment."""
+
+    def test_degraded_flow_heals_at_handover(self):
+        tb, gnb2 = _testbed()
+        client = tb.clients[0]
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        tb.run_request(client, svc, NGINX.request)
+        # Simulate a breaker-degraded resolution: the flow is tagged as
+        # a fallback from a preferred cluster that was blocked.
+        tagged = tb.controller.flow_memory.mark_service_degraded(
+            svc, "phantom-k8s"
+        )
+        assert tagged == 1
+        before = tb.controller.stats["redispatched"]
+        tb.move_client(client, gnb2)
+        tb.settle(1.0)
+        # The handover itself re-resolved the degraded flow...
+        assert tb.controller.stats["redispatched"] == before + 1
+        flow = tb.controller.flow_memory.lookup(client.ip, svc)
+        assert flow is not None and not flow.degraded
+        # ...and eagerly installed the redirect entries at the new gNB,
+        # so the next request never even reaches the controller.
+        packet_ins = tb.controller.stats["packet_in"]
+        result = tb.run_request(client, svc, NGINX.request)
+        assert result.response.status == 200
+        assert tb.controller.stats["packet_in"] == packet_ins
+
+    def test_healthy_local_flow_is_not_redispatched(self):
+        tb, gnb2 = _testbed()
+        client = tb.clients[0]
+        svc = tb.register_template(NGINX)
+        tb.prepare_created(tb.docker_cluster, svc)
+        tb.run_request(client, svc, NGINX.request)
+        before = tb.controller.stats["redispatched"]
+        tb.move_client(client, gnb2)
+        tb.settle(1.0)
+        # A healthy locally-served flow just re-resolves lazily on the
+        # client's next packet; no background work is spent on it.
+        assert tb.controller.stats["redispatched"] == before
+        assert tb.controller.flow_memory.lookup(client.ip, svc) is None

@@ -105,9 +105,11 @@ SCHEMA = "repro-bench-throughput/1"
 FED_SCHEMA = "repro-bench-federation/1"
 #: /3 adds ``payload_rounds`` per row (adaptive-sync round breakdown).
 PAR_SCHEMA = "repro-bench-parallel/3"
+MIG_SCHEMA = "repro-bench-migration/1"
 DEFAULT_REPORT = _REPO_ROOT / "BENCH_PR3.json"
 DEFAULT_FED_REPORT = _REPO_ROOT / "BENCH_FED.json"
 DEFAULT_PAR_REPORT = _REPO_ROOT / "BENCH_PR8.json"
+DEFAULT_MIG_REPORT = _REPO_ROOT / "BENCH_M1.json"
 #: The fixed-step engine's last report — when present, the parallel
 #: sweep embeds per-workload round-reduction factors against it.
 FIXED_STEP_REPORT = _REPO_ROOT / "BENCH_PR7.json"
@@ -220,6 +222,22 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         "(default: 1,2,4)",
     )
     parser.add_argument(
+        "--migration",
+        action="store_true",
+        help="run the M1 handover-storm experiment (live migration "
+        "pre-copy vs stop-and-copy plus the planner batch) and report "
+        f"its availability/p99/downtime rows to {DEFAULT_MIG_REPORT.name}; "
+        "--migration --check reruns it and fails on any acceptance "
+        "breach or row drift vs the recorded report",
+    )
+    parser.add_argument(
+        "--m1-clients",
+        type=int,
+        default=4,
+        help="with --migration: clients in the handover storm "
+        "(default 4)",
+    )
+    parser.add_argument(
         "--parallel",
         metavar="SITES",
         default=None,
@@ -262,6 +280,13 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
             args.output = DEFAULT_FED_REPORT
         if args.baseline == DEFAULT_REPORT:
             args.baseline = DEFAULT_FED_REPORT
+    if args.migration:
+        # Migration rows (availability/p99/downtime) live in their own
+        # report too.
+        if args.output == DEFAULT_REPORT:
+            args.output = DEFAULT_MIG_REPORT
+        if args.baseline == DEFAULT_REPORT:
+            args.baseline = DEFAULT_MIG_REPORT
     return args
 
 
@@ -709,6 +734,117 @@ def _check_federation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _migration_rows(n_clients: int) -> tuple[list[dict], float]:
+    """Run the M1 experiment once; rows as JSON-safe dicts + wall s."""
+    import time
+
+    from repro.experiments.extension_m1_migration import (
+        run_extension_m1_migration,
+    )
+
+    t0 = time.perf_counter()
+    result = run_extension_m1_migration(n_clients=n_clients)
+    wall = time.perf_counter() - t0
+    return [dict(zip(result.headers, row)) for row in result.rows], wall
+
+
+def _migration_gates(rows: list[dict]) -> list[str]:
+    """The M1 acceptance criteria, as a list of breaches (empty = ok)."""
+    breaches = []
+    by_scenario = {row["scenario"]: row for row in rows}
+    pre = by_scenario.get("storm precopy")
+    stop = by_scenario.get("storm stopcopy")
+    for row in rows:
+        if row["availability"] not in ("-", 1.0):
+            breaches.append(
+                f"{row['scenario']}: availability {row['availability']} < 1.0 "
+                "(a client saw an error during the storm)"
+            )
+        if row["oversub"]:
+            breaches.append(
+                f"{row['scenario']}: {row['oversub']} ledger "
+                "oversubscription(s) — the planner exceeded the trunk budget"
+            )
+    if pre and stop and not pre["downtime_s"] < stop["downtime_s"]:
+        breaches.append(
+            f"pre-copy downtime {pre['downtime_s']}s does not beat "
+            f"stop-and-copy {stop['downtime_s']}s"
+        )
+    planner = by_scenario.get("planner batch x3")
+    if planner is not None and planner["deferred"] < 1:
+        breaches.append(
+            "planner batch: nothing deferred — the budget admitted the "
+            "whole batch at once, so admission control went untested"
+        )
+    return breaches
+
+
+def _run_migration_sweep(n_clients: int, label: str) -> dict:
+    print(f"[bench] M1 handover storm, {n_clients} clients ...", flush=True)
+    rows, wall = _migration_rows(n_clients)
+    for row in rows:
+        print(
+            f"[bench]   {row['scenario']}: availability="
+            f"{row['availability']} p99={row['p99_s']}s "
+            f"downtime={row['downtime_s']}s",
+            flush=True,
+        )
+    breaches = _migration_gates(rows)
+    for line in breaches:
+        print(f"[bench] WARNING: {line}", file=sys.stderr)
+    return {
+        "schema": MIG_SCHEMA,
+        "label": label,
+        "python": platform.python_version(),
+        "n_clients": n_clients,
+        "wall_s": round(wall, 3),
+        "rows": rows,
+    }
+
+
+def _check_migration(args: argparse.Namespace) -> int:
+    if not args.baseline.exists():
+        print(f"[bench] no migration baseline at {args.baseline}; run "
+              "the sweep first (--migration)", file=sys.stderr)
+        return 2
+    recorded = json.loads(args.baseline.read_text())
+    n_clients = recorded["n_clients"]
+    print(f"[bench] migration smoke check: {n_clients} clients vs "
+          f"recorded {recorded['wall_s']:.2f}s "
+          f"(tolerance {args.tolerance:g}x)")
+    rows, wall = _migration_rows(n_clients)
+    # Floor at 2 s of slack: the run is sub-second, so a pure
+    # multiplicative tolerance would flake on loaded CI runners.
+    limit = max(recorded["wall_s"] * args.tolerance, 2.0)
+    status = "ok" if wall <= limit else "REGRESSED"
+    print(f"[bench] wall={wall:.2f}s limit={limit:.2f}s -> {status}")
+
+    breaches = _migration_gates(rows)
+    for line in breaches:
+        print(f"[bench] FAIL: {line}", file=sys.stderr)
+    if breaches:
+        return 1
+    # The experiment is a seeded discrete-event run: every recorded
+    # value (availability, p99, downtime, bytes, rounds) must
+    # reproduce exactly — any drift means simulated-time results
+    # changed.
+    if rows != recorded["rows"]:
+        print("[bench] FAIL: M1 rows drifted from the recorded report —"
+              " simulated-time results changed:", file=sys.stderr)
+        for old, new in zip(recorded["rows"], rows):
+            if old != new:
+                print(f"[bench]   recorded {old}", file=sys.stderr)
+                print(f"[bench]   got      {new}", file=sys.stderr)
+        return 1
+    if wall > limit:
+        print(f"[bench] FAIL: M1 wall-clock regressed "
+              f"{wall / recorded['wall_s']:.2f}x vs recorded "
+              f"{recorded['wall_s']:.2f}s (allowed {args.tolerance:g}x)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _merge_baseline(report: dict, baseline_path: pathlib.Path) -> None:
     baseline = json.loads(baseline_path.read_text())
     report["baseline"] = {
@@ -872,7 +1008,14 @@ def main(argv: list[str] | None = None) -> int:
         print("[bench] --parallel does not combine with --faults or "
               "--federation", file=sys.stderr)
         return 2
+    if args.migration and (args.faults or args.profile or args.parallel
+                           or args.federation):
+        print("[bench] --migration does not combine with --faults, "
+              "--profile, --parallel or --federation", file=sys.stderr)
+        return 2
     if args.check:
+        if args.migration:
+            return _check_migration(args)
         if args.parallel:
             return _check_parallel(args)
         return _check_federation(args) if args.federation else _check(args)
@@ -880,6 +1023,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.parallel:
             return _profile_parallel(args)
         return _profile(args)
+
+    if args.migration:
+        report = _run_migration_sweep(args.m1_clients, args.label)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[bench] wrote {args.output}")
+        return 0
 
     if args.parallel:
         site_counts = [
