@@ -59,6 +59,12 @@ class BenchResult:
     #: digits, sample order) — byte-identity fingerprint of the
     #: simulated-time results.
     latency_md5: str
+    #: Whether the run had the operational surface fully enabled (REST
+    #: app + flow-stats collector).  ``latency_md5`` must not depend on
+    #: this flag — that byte-identity is the md5-neutrality guarantee
+    #: ``tools/bench_throughput.py --check`` gates — but wall-clock
+    #: rows are only comparable at equal ``ops_enabled``.
+    ops_enabled: bool = False
     #: tracemalloc peak / end-of-run KiB during the replay (None unless
     #: the run was traced — tracing slows the replay several-fold, so
     #: wall_s from a traced run must never be compared to an untraced
@@ -91,6 +97,7 @@ def run_federation_benchmark(
     n_sites: int = 1,
     scale: int = 1,
     seed: int = DEFAULT_SEED,
+    ops: bool = False,
 ) -> BenchResult:
     """Replay the bigFlows trace against the federated control plane.
 
@@ -109,7 +116,11 @@ def run_federation_benchmark(
 
     params = scaled_params(scale)
     tb = FederatedTestbed(
-        FederationConfig(n_sites=n_sites, clients_per_site=4)
+        FederationConfig(
+            n_sites=n_sites,
+            clients_per_site=4,
+            flow_stats_period_s=1.0 if ops else None,
+        )
     )
     site0 = tb.sites[0]
     services = [
@@ -158,6 +169,7 @@ def run_federation_benchmark(
         latency_md5=fingerprint_latencies(
             s.time_total for s in summary.samples
         ),
+        ops_enabled=ops,
     )
 
 
@@ -364,6 +376,7 @@ def run_replay_benchmark(
     cluster_type: str = "docker",
     trace_allocations: bool = False,
     fault_plan: _t.Any = None,
+    ops: bool = False,
 ) -> BenchResult:
     """Replay the bigFlows trace at ``scale``x and measure wall-clock.
 
@@ -371,9 +384,16 @@ def run_replay_benchmark(
     the testbed just before the replay; its ``at_s`` offsets are
     relative to the replay start.  Faulted runs have different latency
     fingerprints — never compare their md5s to a fault-free baseline.
+    ``ops=True`` additionally runs the flow-stats collector (the REST
+    app is on in either case); the fingerprint must not change.
     """
     params = scaled_params(scale)
-    tb = C3Testbed(TestbedConfig(cluster_types=(cluster_type,)))
+    tb = C3Testbed(
+        TestbedConfig(
+            cluster_types=(cluster_type,),
+            flow_stats_period_s=1.0 if ops else None,
+        )
+    )
     cluster = tb.docker_cluster if cluster_type == "docker" else tb.k8s_cluster
     assert cluster is not None
     services = [tb.register_template(NGINX) for _ in range(params.n_services)]
@@ -446,6 +466,7 @@ def run_replay_benchmark(
         latency_md5=fingerprint_latencies(
             s.time_total for s in summary.samples
         ),
+        ops_enabled=ops,
         alloc_peak_kib=alloc_peak,
         alloc_current_kib=alloc_current,
     )

@@ -1,0 +1,84 @@
+"""Ops quickstart: the observability surface of the testbed.
+
+Builds the simulated C³ testbed with the flow-stats collector armed,
+registers the Nginx edge service, replays a short request burst, and
+then queries the operational REST API the way an in-sim operator
+would — real simulated-HTTP GETs from a client host to the ops app on
+the EGS host (port 7080):
+
+* ``GET /services``       — what is registered,
+* ``GET /flows``          — which (client, service) flows the
+  controller memorized while serving the burst,
+* ``GET /metrics/links``  — link utilization and per-service packet
+  rates derived by the collector from switch counters,
+* ``POST /services?template=resnet`` — registering a second service
+  through the API itself.
+
+Run:  python examples/ops_quickstart.py
+"""
+
+from repro.net.packet import HTTPRequest
+from repro.ops import OPS_PORT
+from repro.services.catalog import NGINX
+from repro.testbed import C3Testbed, TestbedConfig
+
+
+def _get(testbed: C3Testbed, path: str, method: str = "GET") -> dict:
+    client = testbed.clients[-1]
+    proc = testbed.env.process(
+        client.http_request(
+            testbed.egs.ip, OPS_PORT, HTTPRequest(method, path, body_bytes=0)
+        )
+    )
+    result = testbed.env.run(until=proc)
+    assert result.response is not None, f"{method} {path} timed out"
+    return result.response.payload
+
+
+def main() -> None:
+    testbed = C3Testbed(
+        TestbedConfig(cluster_types=("docker",), flow_stats_period_s=0.25)
+    )
+    service = testbed.register_template(NGINX)
+    print(f"Registered {service.name} at {service.address}")
+
+    for client in testbed.clients[:3]:
+        result = testbed.run_request(client, service, NGINX.request)
+        print(f"  {client.name}: {result.time_total * 1000:7.1f} ms")
+    testbed.settle(0.3)  # let the collector finish a window
+
+    print()
+    print("GET /services")
+    for row in _get(testbed, "/services")["services"]:
+        print(f"  {row['name']}  cloud={row['cloud_ip']}:{row['port']}")
+
+    print("GET /flows")
+    for row in _get(testbed, "/flows")["flows"]:
+        print(
+            f"  {row['client_ip']} -> {row['service_name']} "
+            f"on {row['cluster_name']}"
+        )
+
+    print("GET /metrics/links")
+    links = _get(testbed, "/metrics/links")
+    for row in links["links"]:
+        print(
+            f"  {row['site']}/{row['link']}: "
+            f"{row['bits_per_s'] / 1e6:.2f} Mbit/s "
+            f"({row['utilization']:.6f} of capacity)"
+        )
+    for row in links["service_rates"]:
+        print(
+            f"  {row['service_name']}: {row['packets_per_s']:.0f} pkt/s "
+            f"over the last {row['window_s']:g}s window"
+        )
+
+    print("POST /services?template=resnet")
+    created = _get(testbed, "/services?template=resnet", method="POST")
+    print(f"  registered: {created['registered']}")
+    names = [r["name"] for r in _get(testbed, "/services")["services"]]
+    print(f"  services now: {sorted(names)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -205,6 +205,7 @@ class Dispatcher:
         plan = service.plan
         breakers = self.breakers if self.breaker_enabled else None
         evicting = self.evicting
+        utilization = self._site_utilization()
         states = []
         for cluster in self.clusters:
             blocked = degraded = False
@@ -226,6 +227,7 @@ class Dispatcher:
                         has_capacity=False,
                         blocked=True,
                         degraded=degraded,
+                        utilization=utilization,
                     )
                 )
                 continue
@@ -238,9 +240,22 @@ class Dispatcher:
                     has_capacity=self._has_room(service, cluster),
                     blocked=blocked,
                     degraded=degraded,
+                    utilization=utilization,
                 )
             )
         return states
+
+    def _site_utilization(self) -> float:
+        """Worst observed link utilization at this site, from the
+        replicated observability rows (0.0 without a collector — the
+        read is one empty-list check on that path)."""
+        stats = self.state.link_stats()
+        if not stats:
+            return 0.0
+        return max(
+            (r.utilization for r in stats if r.site == self.site),
+            default=0.0,
+        )
 
     def breaker_for(self, cluster_name: str) -> CircuitBreaker:
         """The cluster's circuit breaker, created on first use."""

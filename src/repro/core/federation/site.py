@@ -67,11 +67,20 @@ class SiteDispatcher(Dispatcher):
         states = super().gather_states(service)
         if self.replica.link.down:
             return states  # partition: local view only
+        remote_util: dict[str, float] | None = None
         for record in self.replica.instances_for(service.name):
             if record.site == self.site:
                 continue  # our own announcements; already local
             if not record.running or record.endpoint is None:
                 continue
+            if remote_util is None:
+                # Remote candidates carry the publishing site's worst
+                # replicated link utilization — the read-model view,
+                # never a poke into a Link object this site can't see.
+                remote_util = {}
+                for row in self.replica.link_stats():
+                    if row.utilization > remote_util.get(row.site, 0.0):
+                        remote_util[row.site] = row.utilization
             states.append(
                 ClusterState(
                     cluster=_t.cast(
@@ -82,6 +91,7 @@ class SiteDispatcher(Dispatcher):
                     created=True,
                     cached=True,
                     has_capacity=False,
+                    utilization=remote_util.get(record.site, 0.0),
                 )
             )
         return states

@@ -33,7 +33,11 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.core.state.base import ControlPlaneState, InstanceRecord
+from repro.core.state.base import (
+    ControlPlaneState,
+    InstanceRecord,
+    LinkStatsRecord,
+)
 from repro.sim import Environment
 
 if _t.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -269,11 +273,19 @@ class SiteReplica(ControlPlaneState):
         self.link = link
         self._clock = 0
         self._versions: dict[StateKey, VersionStamp] = {}
+        #: Separate Lamport stream for the observability (linkstats)
+        #: domain: link-utilization publishing must never advance the
+        #: data-path clock, or enabling the collector would shift the
+        #: VersionStamps of service/client/instance writes and could
+        #: flip LWW winners — breaking the md5-neutrality guarantee.
+        self._stats_clock = 0
+        self._stats_versions: dict[StateKey, VersionStamp] = {}
         # Replicated stores (local views).
         self._by_address: dict[tuple[IPv4Address, int], EdgeService] = {}
         self._by_name: dict[str, EdgeService] = {}
         self._clients: dict[_t.Any, ClientInfo] = {}
         self._instances: dict[tuple[str, str, str], InstanceRecord] = {}
+        self._link_stats: dict[tuple[str, str], LinkStatsRecord] = {}
         # Site-local stores.
         self._flows: dict[tuple[IPv4Address, str], MemorizedFlow] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
@@ -301,6 +313,9 @@ class SiteReplica(ControlPlaneState):
 
     def apply_remote(self, update: StateUpdate) -> None:
         domain, key, value, stamp = update
+        if domain == "linkstats":
+            self._apply_remote_stats(key, value, stamp)
+            return
         if stamp.lamport > self._clock:
             self._clock = stamp.lamport
         state_key = (domain, key)
@@ -333,6 +348,19 @@ class SiteReplica(ControlPlaneState):
                 self.on_instance_changed(value)
         else:  # pragma: no cover - new domains must be wired here
             raise ValueError(f"unknown state domain {domain!r}")
+
+    def _apply_remote_stats(
+        self, key: _t.Any, value: _t.Any, stamp: VersionStamp
+    ) -> None:
+        """LWW-apply a remote linkstats write on the *stats* clock."""
+        if stamp.lamport > self._stats_clock:
+            self._stats_clock = stamp.lamport
+        state_key: StateKey = ("linkstats", key)
+        current = self._stats_versions.get(state_key)
+        if current is not None and stamp <= current:
+            return
+        self._stats_versions[state_key] = stamp
+        self._link_stats[key] = value
 
     # -- staleness introspection (metrics only) ----------------------------
 
@@ -409,6 +437,32 @@ class SiteReplica(ControlPlaneState):
                 if record.service_name == service_name
             ),
             key=lambda r: (r.site, r.cluster_name),
+        )
+
+    # -- ControlPlaneState: link-utilization views -------------------------
+
+    def publish_link_stats(self, record: LinkStatsRecord) -> None:
+        """Publish a link observation on the dedicated stats clock.
+
+        Same propagation path as every replicated write (local apply,
+        then site -> hub -> other sites), but versioned on
+        :attr:`_stats_clock` so the data-path Lamport stream is
+        untouched whether or not the collector runs.
+        """
+        key = (record.site, record.link)
+        self._stats_clock += 1
+        stamp = VersionStamp(self._stats_clock, self.site)
+        self._stats_versions[("linkstats", key)] = stamp
+        self._link_stats[key] = record
+        update: StateUpdate = ("linkstats", key, record, stamp)
+        if self.link.down:
+            self.link.outbox.append(update)
+        else:
+            self.link.hub.submit(self.site, update)
+
+    def link_stats(self) -> list[LinkStatsRecord]:
+        return sorted(
+            self._link_stats.values(), key=lambda r: (r.site, r.link)
         )
 
     # -- ControlPlaneState: site-local stores ------------------------------

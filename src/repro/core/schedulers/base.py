@@ -30,6 +30,12 @@ class ClusterState:
     #: The breaker is half-open: the cluster may take a probe
     #: deployment, but schedulers prefer healthy peers at equal rank.
     degraded: bool = False
+    #: Load on the path toward this cluster, from the observability
+    #: read-model's replicated link-utilization rows (0.0 when no
+    #: collector runs).  Candidate views read it from here — never
+    #: from private ``Link`` attributes — so utilization-aware
+    #: schedulers (LinUCB-style) see the same numbers everywhere.
+    utilization: float = 0.0
 
     @property
     def distance(self) -> int:

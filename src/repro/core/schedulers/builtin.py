@@ -11,6 +11,13 @@
   first request from Docker (fast start) while the same service
   deploys to Kubernetes for managed steady-state operation.
 * :class:`CloudOnlyScheduler` — baseline: never deploy, always cloud.
+
+None of the built-ins rank on :attr:`ClusterState.utilization` — their
+decision keys must stay byte-identical whether or not the flow-stats
+collector runs.  Utilization-aware policies (the planned LinUCB-style
+selector) read that field off the candidate states; the dispatcher
+fills it from the replicated link-stats read-model, so no scheduler
+ever touches a ``Link`` object directly.
 """
 
 from __future__ import annotations

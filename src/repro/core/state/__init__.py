@@ -6,7 +6,16 @@ implementation.  The federated, replicated implementation lives in
 :mod:`repro.core.federation.state`.
 """
 
-from repro.core.state.base import ControlPlaneState, InstanceRecord
+from repro.core.state.base import (
+    ControlPlaneState,
+    InstanceRecord,
+    LinkStatsRecord,
+)
 from repro.core.state.memory import InMemoryState
 
-__all__ = ["ControlPlaneState", "InMemoryState", "InstanceRecord"]
+__all__ = [
+    "ControlPlaneState",
+    "InMemoryState",
+    "InstanceRecord",
+    "LinkStatsRecord",
+]

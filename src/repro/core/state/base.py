@@ -41,7 +41,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.faults.breaker import CircuitBreaker
     from repro.net.addressing import IPv4Address
 
-__all__ = ["ControlPlaneState", "InstanceRecord"]
+__all__ = ["ControlPlaneState", "InstanceRecord", "LinkStatsRecord"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -63,6 +63,34 @@ class InstanceRecord:
     distance: int
     #: Simulated time of the observation at the publishing site.
     observed_at: float
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkStatsRecord:
+    """One published link-utilization observation.
+
+    Produced by the per-site
+    :class:`~repro.ops.collector.FlowStatsCollector` from switch
+    flow/port counter deltas; replicated so remote sites (and
+    utilization-aware schedulers) see federation-wide link load.
+    """
+
+    #: Identifier of the site publishing the observation.
+    site: str
+    #: Name of the observed link (e.g. ``"trunk:site0"``).
+    link: str
+    #: Simulated time of the observation at the publishing site.
+    observed_at: float
+    #: Width of the delta window the rates were computed over.
+    window_s: float
+    #: Packets forwarded by the observed switch during the window.
+    packets_per_s: float
+    #: Estimated bits/s on the link during the window.
+    bits_per_s: float
+    #: ``bits_per_s`` over the link's configured bandwidth (0.0 when
+    #: the bandwidth is unknown/unbounded); may exceed 1.0 briefly
+    #: because the estimate is counter-derived, not wire-sampled.
+    utilization: float
 
 
 class ControlPlaneState(abc.ABC):
@@ -119,6 +147,16 @@ class ControlPlaneState(abc.ABC):
     def instances_for(self, service_name: str) -> list[InstanceRecord]:
         """All known instance observations for ``service_name``,
         ordered deterministically by (site, cluster name)."""
+
+    # -- link-utilization views (replicated) ---------------------------------
+
+    @abc.abstractmethod
+    def publish_link_stats(self, record: LinkStatsRecord) -> None:
+        """Publish a link-utilization observation for remote consumption."""
+
+    @abc.abstractmethod
+    def link_stats(self) -> list[LinkStatsRecord]:
+        """All known link observations, ordered by (site, link)."""
 
     # -- memorized flows (site-local) ----------------------------------------
 

@@ -12,7 +12,11 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.core.state.base import ControlPlaneState, InstanceRecord
+from repro.core.state.base import (
+    ControlPlaneState,
+    InstanceRecord,
+    LinkStatsRecord,
+)
 
 if _t.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.core.flow_memory import MemorizedFlow
@@ -34,6 +38,7 @@ class InMemoryState(ControlPlaneState):
         self._instances: dict[tuple[str, str, str], InstanceRecord] = {}
         self._flows: dict[tuple[IPv4Address, str], MemorizedFlow] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._link_stats: dict[tuple[str, str], LinkStatsRecord] = {}
 
     # -- registered services ------------------------------------------------
 
@@ -83,6 +88,16 @@ class InMemoryState(ControlPlaneState):
                 if record.service_name == service_name
             ),
             key=lambda r: (r.site, r.cluster_name),
+        )
+
+    # -- link-utilization views --------------------------------------------------
+
+    def publish_link_stats(self, record: LinkStatsRecord) -> None:
+        self._link_stats[(record.site, record.link)] = record
+
+    def link_stats(self) -> list[LinkStatsRecord]:
+        return sorted(
+            self._link_stats.values(), key=lambda r: (r.site, r.link)
         )
 
     # -- site-local stores ------------------------------------------------------

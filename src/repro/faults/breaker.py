@@ -94,11 +94,22 @@ class CircuitBreaker:
         """
         if self.state is BreakerState.OPEN:
             if now - self.opened_at >= self.cooldown_s:
-                self.stats["probes"] += 1
+                self._count_probe()
                 self._transition(BreakerState.HALF_OPEN)
                 return False
             return True
+        if self.state is BreakerState.HALF_OPEN:
+            # Every admission while half-open is a probe, not just the
+            # one that performed the OPEN -> HALF_OPEN transition —
+            # otherwise repeated admissions before the probe resolves
+            # are invisible to the recorder.
+            self._count_probe()
         return False
+
+    def _count_probe(self) -> None:
+        self.stats["probes"] += 1
+        if self.recorder is not None:
+            self.recorder.count(f"breaker/{self.name}/probe")
 
     def record_success(self) -> None:
         """A deployment on this cluster reached ready."""

@@ -14,6 +14,7 @@ arrived.
 
 from repro.net.addressing import IPv4Address, MACAddress
 from repro.net.packet import (
+    DataResponse,
     HTTPRequest,
     HTTPResponse,
     Packet,
@@ -27,6 +28,7 @@ from repro.net.host import ConnectionRefused, ConnectionTimeout, Host, HTTPResul
 __all__ = [
     "ConnectionRefused",
     "ConnectionTimeout",
+    "DataResponse",
     "HTTPRequest",
     "HTTPResponse",
     "HTTPResult",

@@ -75,6 +75,20 @@ class HTTPResponse:
         return 200 <= self.status < 300
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class DataResponse(HTTPResponse):
+    """An application-layer response that also carries content.
+
+    Data volume stays size-modelled on the wire (``body_bytes`` should
+    be set to the encoded size of ``payload`` so serialization delay is
+    faithful), but in-simulation consumers — the ops CLI, tests — can
+    read the structured ``payload`` straight off the response object
+    the server handler returned.
+    """
+
+    payload: _t.Any = None
+
+
 class TCPSegment:
     """TCP header fields plus payload metadata.
 

@@ -1,0 +1,243 @@
+"""Versioned snapshot views of the operational read-model.
+
+Every observable surface of the testbed — services, instances, flows,
+breakers, migrations, clusters, switches, link stats — is frozen into
+one of these dataclasses before it leaves the control plane.  The REST
+API, the experiments, and the schedulers consume *these*, never the
+live objects, so:
+
+* a snapshot taken mid-dispatch stays self-consistent (nothing mutates
+  under the consumer's feet),
+* the JSON shape over the wire is exactly ``as_dict()`` of a view, and
+  :data:`SCHEMA_VERSION` stamps every API payload so clients can
+  detect incompatible changes,
+* internals can be refactored freely as long as the views keep their
+  fields.
+
+Views hold only JSON-safe scalars (str / int / float / bool / None and
+tuples thereof) — an :class:`~repro.net.addressing.IPv4Address` is
+rendered to its dotted string at snapshot time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BreakerView",
+    "ClusterView",
+    "FlowView",
+    "InstanceView",
+    "LinkStatsView",
+    "MigrationView",
+    "ServiceRateView",
+    "ServiceView",
+    "SwitchView",
+    "OpsSnapshot",
+]
+
+#: Bumped whenever a view gains/loses/renames a field.  Stamped into
+#: every API payload as ``schema_version``.
+SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceView:
+    """One registered service (``GET /services``)."""
+
+    name: str
+    cloud_ip: str
+    port: int
+    template_key: str | None
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class InstanceView:
+    """One known service-instance observation (``GET /instances``)."""
+
+    service_name: str
+    cluster_name: str
+    site: str
+    running: bool
+    endpoint_ip: str | None
+    endpoint_port: int | None
+    distance: int
+    observed_at: float
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowView:
+    """One memorized (client, service) flow (``GET /flows``)."""
+
+    client_ip: str
+    service_name: str
+    cluster_name: str
+    endpoint_ip: str
+    endpoint_port: int
+    created_at: float
+    last_used: float
+    degraded: bool
+    degraded_from: str | None
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakerView:
+    """One cluster's circuit-breaker state (``GET /breakers``).
+
+    ``transitions`` is the full timestamped history —
+    ``(sim_time, from_state, to_state)`` triples — so an operator can
+    reconstruct exactly when the cluster was excluded and readmitted.
+    """
+
+    cluster: str
+    state: str
+    consecutive_failures: int
+    opened_at: float
+    opens: int
+    closes: int
+    probes: int
+    transitions: tuple[tuple[float, str, str], ...]
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        data = dataclasses.asdict(self)
+        data["transitions"] = [list(t) for t in self.transitions]
+        return data
+
+
+@dataclasses.dataclass(frozen=True)
+class MigrationView:
+    """One migration outcome (``GET /migrations``)."""
+
+    service_name: str
+    from_site: str
+    to_site: str
+    mode: str
+    started_at: float
+    rounds: int
+    bytes_moved: int
+    bytes_final: int
+    downtime_s: float
+    total_s: float
+    completed: bool
+    failed_phase: str | None
+    error: str | None
+    rolled_back: bool
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterView:
+    """One local edge cluster's node state (``GET /clusters``)."""
+
+    name: str
+    distance: int
+    capacity: int | None
+    running_count: int
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class SwitchView:
+    """One switch's counters and table occupancy (``GET /clusters``)."""
+
+    name: str
+    datapath_id: int
+    table_size: int
+    table_peak: int
+    table_epoch: int
+    rx: int
+    tx: int
+    miss: int
+    drop: int
+    punt: int
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkStatsView:
+    """One link-utilization observation (``GET /metrics/links``).
+
+    Mirrors :class:`repro.core.state.LinkStatsRecord` — the replicated
+    row — field for field; the view exists so API payloads never
+    depend on the state layer's wire types.
+    """
+
+    site: str
+    link: str
+    observed_at: float
+    window_s: float
+    packets_per_s: float
+    bits_per_s: float
+    utilization: float
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceRateView:
+    """Per-service packet rate over the collector's last window
+    (``GET /metrics/links``), derived from redirect/intercept flow
+    cookie counters."""
+
+    site: str
+    service_name: str
+    observed_at: float
+    window_s: float
+    packets_per_s: float
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class OpsSnapshot:
+    """The whole observable surface at one instant (``snapshot()``)."""
+
+    schema_version: int
+    site: str
+    now: float
+    services: tuple[ServiceView, ...]
+    instances: tuple[InstanceView, ...]
+    flows: tuple[FlowView, ...]
+    breakers: tuple[BreakerView, ...]
+    migrations: tuple[MigrationView, ...]
+    clusters: tuple[ClusterView, ...]
+    switches: tuple[SwitchView, ...]
+    links: tuple[LinkStatsView, ...]
+    service_rates: tuple[ServiceRateView, ...]
+    controller_stats: dict[str, int]
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        return {
+            "schema_version": self.schema_version,
+            "site": self.site,
+            "now": self.now,
+            "services": [v.as_dict() for v in self.services],
+            "instances": [v.as_dict() for v in self.instances],
+            "flows": [v.as_dict() for v in self.flows],
+            "breakers": [v.as_dict() for v in self.breakers],
+            "migrations": [v.as_dict() for v in self.migrations],
+            "clusters": [v.as_dict() for v in self.clusters],
+            "switches": [v.as_dict() for v in self.switches],
+            "links": [v.as_dict() for v in self.links],
+            "service_rates": [v.as_dict() for v in self.service_rates],
+            "controller_stats": dict(self.controller_stats),
+        }

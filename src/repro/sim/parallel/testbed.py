@@ -83,6 +83,7 @@ from repro.net.addressing import IPv4Address, MACAllocator
 from repro.net.cloud import CloudHost
 from repro.net.packet import HEADER_BYTES
 from repro.net.openflow import OpenFlowSwitch
+from repro.ops import OPS_PORT, FlowStatsCollector, OpsApp, OpsReadModel
 from repro.services import DEFAULT_CALIBRATION, build_catalog
 from repro.services.catalog import template_by_key
 from repro.sim.events import NORMAL
@@ -319,11 +320,15 @@ class _PortalLinkStub:
     at serialization end anyway).
     """
 
-    __slots__ = ("epoch", "down")
+    __slots__ = ("epoch", "down", "bandwidth_bps")
 
     def __init__(self) -> None:
         self.epoch = 0
         self.down = False
+        #: Stamped by :class:`PortalEndpoint` so the flow-stats
+        #: collector's utilization math sees the same trunk bandwidth
+        #: as the monolithic testbed's real ``Link``.
+        self.bandwidth_bps = 0.0
 
 
 class PortalEndpoint:
@@ -374,6 +379,7 @@ class PortalEndpoint:
         #: the packet-out-injection fallback of the monolithic path.
         self.peer = None
         self.link = _PortalLinkStub()
+        self.link.bandwidth_bps = float(bandwidth_bps)
         self._pending: deque["Packet"] = deque()
         self._busy = False
         self._env = iface.device.env
@@ -604,6 +610,37 @@ class SitePartitionModel:
             {f"site{i}": egs_ip(i) for i in range(config.n_sites)},
             self.ledger,
         )
+        # Operational surface: same per-site wiring as the monolithic
+        # testbed.  Listeners and scheduled ticks are created *here*
+        # (post-fork) — Host pickling strips listeners, so the port
+        # must open inside the worker.  Both executors run this same
+        # setup, so serial/parallel parity is preserved with the ops
+        # surface on.  ``getattr``: a replay plan pickled by an older
+        # tree lacks the ops knobs.
+        self.collector: FlowStatsCollector | None = None
+        if getattr(config, "flow_stats_period_s", None) is not None:
+            self.collector = FlowStatsCollector(
+                env,
+                self.name,
+                self.switch,
+                {f"trunk:{self.name}": trunk_iface.endpoint.link},
+                state=self.replica,
+                period_s=config.flow_stats_period_s,
+                recorder=self.recorder,
+            ).start()
+        self.ops = OpsReadModel(
+            env,
+            self.controller,
+            site=self.name,
+            switches=(self.switch,),
+            manager=self.manager,
+            collector=self.collector,
+        )
+        self.ops_app: OpsApp | None = None
+        if getattr(config, "ops_api", True):
+            self.ops_app = OpsApp(self.ops)
+            self.egs.open_port(OPS_PORT, self.ops_app)
+
         for mig in self.replay.migrations:
             if mig.to_site == self.site:
                 env.call_at(mig.at_s, self._start_migration, mig)

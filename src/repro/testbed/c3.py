@@ -34,7 +34,9 @@ from repro.net.addressing import IPAllocator, IPv4Address, MACAllocator
 from repro.net.cloud import CloudHost
 from repro.net.link import GBPS
 from repro.net.openflow import OpenFlowSwitch
+from repro.ops import OPS_PORT, FlowStatsCollector, OpsApp, OpsReadModel
 from repro.services import DEFAULT_CALIBRATION, Calibration, ServiceTemplate, build_catalog
+from repro.services.catalog import template_by_key
 from repro.sim import Environment
 
 
@@ -63,6 +65,13 @@ class TestbedConfig:
     #: on every edge Deployment, and the cluster runs it alongside the
     #: default scheduler.
     k8s_local_scheduler: str | None = None
+    #: Serve the operational REST API (:mod:`repro.ops`) on the EGS
+    #: host at :data:`repro.ops.OPS_PORT`.  Opening the port installs
+    #: no events, so leaving it on does not perturb replays.
+    ops_api: bool = True
+    #: Poll switch flow/port counters every this many seconds with a
+    #: :class:`~repro.ops.FlowStatsCollector` (``None``: no collector).
+    flow_stats_period_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_clients < 1:
@@ -72,6 +81,8 @@ class TestbedConfig:
             raise ValueError(f"unknown cluster types: {sorted(unknown)}")
         if self.registry not in ("public", "private"):
             raise ValueError(f"unknown registry {self.registry!r}")
+        if self.flow_stats_period_s is not None and self.flow_stats_period_s <= 0:
+            raise ValueError("flow_stats_period_s must be positive")
 
 
 class C3Testbed:
@@ -226,6 +237,32 @@ class C3Testbed:
             return ()
 
         self.controller.conntrack = _conntrack
+
+        # -- operational surface (repro.ops) ---------------------------------
+        self.collector: FlowStatsCollector | None = None
+        if self.config.flow_stats_period_s is not None:
+            egs_endpoint = self.egs.iface.endpoint
+            assert egs_endpoint is not None  # attached above
+            self.collector = FlowStatsCollector(
+                self.env,
+                "egs",
+                self.switch,
+                {"uplink:egs": egs_endpoint.link},
+                state=self.state,
+                period_s=self.config.flow_stats_period_s,
+                recorder=self.recorder,
+            ).start()
+        self.ops = OpsReadModel(
+            self.env,
+            self.controller,
+            site="egs",
+            switches=self.switches.values(),
+            collector=self.collector,
+        )
+        self.ops_app: OpsApp | None = None
+        if self.config.ops_api:
+            self.ops_app = OpsApp(self.ops, register=self._register_template_key)
+            self.egs.open_port(OPS_PORT, self.ops_app)
 
         self._cloud_apps: dict[str, _t.Any] = {}
         # Let the controller finish installing the infrastructure rules
@@ -404,6 +441,18 @@ class C3Testbed:
     ) -> EdgeService:
         """Register one catalog service; also serve it from the cloud
         (the *perceived cloud* of fig. 1 really answers)."""
+        service = self._register_catalog(template, cloud_ip, port)
+        # The interception rule must be live before the first request
+        # arrives (registration happens well before use in practice).
+        self.settle(0.005)
+        return service
+
+    def _register_catalog(
+        self,
+        template: ServiceTemplate,
+        cloud_ip: IPv4Address | None = None,
+        port: int = 80,
+    ) -> EdgeService:
         ip = cloud_ip if cloud_ip is not None else self._service_ips.allocate()
         service = self.controller.register_service(
             template.definition_yaml, ip, port, template_key=template.key
@@ -414,10 +463,15 @@ class C3Testbed:
             app = factory(self.env)
             self.cloud.open_service(ip, port, app)
             self._cloud_apps[service.name] = app
-        # The interception rule must be live before the first request
-        # arrives (registration happens well before use in practice).
-        self.settle(0.005)
         return service
+
+    def _register_template_key(self, key: str) -> EdgeService:
+        """``POST /services`` hook: register a catalog template.
+
+        Runs *inside* the simulation (from the ops API handler), so it
+        must not :meth:`settle` — the interception flow-mod simply
+        lands one control-channel hop after the response."""
+        return self._register_catalog(template_by_key(key))
 
     def register_yaml_file(
         self,

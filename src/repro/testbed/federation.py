@@ -47,8 +47,10 @@ from repro.net.addressing import IPAllocator, IPv4Address, MACAllocator
 from repro.net.cloud import CloudHost
 from repro.net.link import GBPS
 from repro.net.openflow import FlowMatch, OpenFlowSwitch, Output
+from repro.ops import OPS_PORT, FlowStatsCollector, OpsApp, OpsReadModel
 from repro.sdnfw import Datapath, SDNApp
 from repro.services import DEFAULT_CALIBRATION, Calibration, ServiceTemplate, build_catalog
+from repro.services.catalog import template_by_key
 from repro.sim import Environment
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -91,6 +93,14 @@ class FederationConfig:
     #: Share of each trunk's bandwidth the migration planner may
     #: commit to checkpoint transfers (the rest stays with data).
     migration_budget_fraction: float = 0.4
+    #: Serve the operational REST API (:mod:`repro.ops`) on every
+    #: site's EGS host at :data:`repro.ops.OPS_PORT`.
+    ops_api: bool = True
+    #: Poll each site's gNB switch counters every this many seconds
+    #: with a :class:`~repro.ops.FlowStatsCollector`; the trunk-link
+    #: utilization rows replicate through the shared-state hub
+    #: (``None``: no collectors).
+    flow_stats_period_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_sites < 1:
@@ -99,6 +109,8 @@ class FederationConfig:
             raise ValueError("need at least one client per site")
         if self.registry not in ("public", "private"):
             raise ValueError(f"unknown registry {self.registry!r}")
+        if self.flow_stats_period_s is not None and self.flow_stats_period_s <= 0:
+            raise ValueError("flow_stats_period_s must be positive")
 
     @property
     def data_lookahead_s(self) -> float:
@@ -255,6 +267,10 @@ class Site:
     backbone_port: int
     #: Live-migration endpoint (wired after all sites exist).
     manager: "MigrationManager | None" = None
+    #: Operational surface (wired after all sites exist).
+    collector: "FlowStatsCollector | None" = None
+    ops: "OpsReadModel | None" = None
+    ops_app: "OpsApp | None" = None
 
 
 class FederatedTestbed:
@@ -376,6 +392,36 @@ class FederatedTestbed:
                 peers,
                 self.ledger,
             )
+
+        # -- operational surface (repro.ops) -------------------------------
+        for site in self.sites:
+            if self.config.flow_stats_period_s is not None:
+                site.collector = FlowStatsCollector(
+                    self.env,
+                    site.name,
+                    site.switch,
+                    {
+                        f"trunk:{site.name}": self.named_links[
+                            (site.name, BACKBONE)
+                        ]
+                    },
+                    state=site.replica,
+                    period_s=self.config.flow_stats_period_s,
+                    recorder=self.recorder,
+                ).start()
+            site.ops = OpsReadModel(
+                self.env,
+                site.controller,
+                site=site.name,
+                switches=(site.switch,),
+                manager=site.manager,
+                collector=site.collector,
+            )
+            if self.config.ops_api:
+                site.ops_app = OpsApp(
+                    site.ops, register=self._site_registrar(site)
+                )
+                site.egs.open_port(OPS_PORT, site.ops_app)
 
         self._cloud_apps: dict[str, _t.Any] = {}
         self.settle(0.1)
@@ -570,6 +616,31 @@ class FederatedTestbed:
         else:
             self.settle(0.005)
         return service
+
+    def _site_registrar(
+        self, site: Site
+    ) -> _t.Callable[[str], EdgeService]:
+        """``POST /services`` hook for ``site``'s ops API.
+
+        Runs *inside* the simulation, so it must not :meth:`settle` —
+        intercepts install a control hop later, and remote sites see
+        the registration once replication lands."""
+
+        def register(key: str) -> EdgeService:
+            template = template_by_key(key)
+            ip = self._service_ips.allocate()
+            service = site.controller.register_service(
+                template.definition_yaml, ip, 80, template_key=template.key
+            )
+            behavior = self.behaviors.get(template.images[0].reference)
+            factory = behavior.app_factory()
+            if factory is not None:
+                app = factory(self.env)
+                self.cloud.open_service(ip, 80, app)
+                self._cloud_apps[service.name] = app
+            return service
+
+        return register
 
     # -- client mobility ---------------------------------------------------
 

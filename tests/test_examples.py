@@ -20,6 +20,7 @@ EXAMPLES = [
     "client_mobility",
     "serverless_vs_containers",
     "federation_quickstart",
+    "ops_quickstart",
 ]
 
 

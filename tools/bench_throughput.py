@@ -129,6 +129,12 @@ EVENTS_GATE_MIN_WALL_S = 0.5
 #: more than (1 + this) x the recorded round count at equal
 #: sites/workload — the canary for reintroduced lookahead creep.
 ROUNDS_REGRESSION = 0.30
+#: --ops-check fails when the ops-enabled replay's wall-clock exceeds
+#: the ops-disabled run by more than this fraction...
+OPS_OVERHEAD_FRACTION = 0.05
+#: ...plus this absolute slack (sub-second runs swing more than 5%
+#: from scheduler noise alone on shared CI runners).
+OPS_NOISE_SLACK_S = 0.5
 
 
 def _parse_args(argv: list[str] | None) -> argparse.Namespace:
@@ -207,6 +213,23 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         action="store_true",
         help="arm the canned fault plan (registry outage + edge-host "
         "crash) during the replay; incompatible with --check",
+    )
+    parser.add_argument(
+        "--ops",
+        action="store_true",
+        help="run the sweep with the operational surface fully enabled "
+        "(REST app + flow-stats collector); rows carry ops_enabled=true "
+        "and are wall-clock-comparable only to other --ops rows",
+    )
+    parser.add_argument(
+        "--ops-check",
+        action="store_true",
+        help="md5-neutrality gate: run the smallest --scales entry with "
+        "the ops surface off and on (single-controller and 2-site "
+        "federated) and fail if the latency fingerprints differ or the "
+        "ops-enabled replay regresses wall-clock beyond "
+        f"{OPS_OVERHEAD_FRACTION:.0%} + {OPS_NOISE_SLACK_S:g}s slack; "
+        "needs no recorded baseline",
     )
     parser.add_argument(
         "--federation",
@@ -311,13 +334,16 @@ def _run_sweep(
     label: str,
     alloc_scale: int = 0,
     with_faults: bool = False,
+    ops: bool = False,
 ) -> dict:
     runs = []
     for scale in scales:
         plan = _canned_fault_plan(seed) if with_faults else None
-        print(f"[bench] scale {scale}x{' (faults armed)' if plan else ''} ...",
-              flush=True)
-        result = run_replay_benchmark(scale=scale, seed=seed, fault_plan=plan)
+        tags = (" (faults armed)" if plan else "") + (" (ops on)" if ops else "")
+        print(f"[bench] scale {scale}x{tags} ...", flush=True)
+        result = run_replay_benchmark(
+            scale=scale, seed=seed, fault_plan=plan, ops=ops
+        )
         runs.append(result.to_json())
         eps = result.events_per_sec
         print(
@@ -994,6 +1020,67 @@ def _check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ops_check(args: argparse.Namespace) -> int:
+    """Gate the operational surface: md5-neutral and cheap.
+
+    Runs the smallest requested scale twice (ops surface off, then on)
+    for both the single-controller replay and a 2-site federation.
+    Fails if either latency fingerprint moves — the ops plane touched
+    simulated time — or if the ops-enabled replay costs more than
+    ``OPS_OVERHEAD_FRACTION`` extra wall-clock (plus absolute noise
+    slack).  Self-contained: needs no recorded baseline, so CI can run
+    it on every push.
+    """
+    scale = sorted(int(s) for s in str(args.scales).split(",") if s.strip())[0]
+    failures: list[str] = []
+
+    print(f"[bench] ops gate: replay scale {scale}x, surface off vs on")
+    base = run_replay_benchmark(scale=scale, seed=args.seed, ops=False)
+    live = run_replay_benchmark(scale=scale, seed=args.seed, ops=True)
+    print(f"[bench]   off: wall={base.wall_s:.2f}s md5={base.latency_md5[:12]}")
+    print(f"[bench]   on : wall={live.wall_s:.2f}s md5={live.latency_md5[:12]}")
+    if live.latency_md5 != base.latency_md5:
+        failures.append(
+            f"ops surface changed the {scale}x replay latency fingerprint "
+            f"({live.latency_md5[:12]} != {base.latency_md5[:12]}) — the "
+            "collector or API perturbed simulated time"
+        )
+    limit = base.wall_s * (1.0 + OPS_OVERHEAD_FRACTION) + OPS_NOISE_SLACK_S
+    if live.wall_s > limit:
+        failures.append(
+            f"ops-enabled replay wall-clock {live.wall_s:.2f}s exceeds "
+            f"{limit:.2f}s ({OPS_OVERHEAD_FRACTION:.0%} + "
+            f"{OPS_NOISE_SLACK_S:g}s over the {base.wall_s:.2f}s "
+            "ops-disabled run) — collector overhead regressed"
+        )
+
+    print(f"[bench] ops gate: 2-site federation scale {scale}x, "
+          "surface off vs on")
+    fed_base = run_federation_benchmark(
+        n_sites=2, scale=scale, seed=args.seed, ops=False
+    )
+    fed_live = run_federation_benchmark(
+        n_sites=2, scale=scale, seed=args.seed, ops=True
+    )
+    print(f"[bench]   off: wall={fed_base.wall_s:.2f}s "
+          f"md5={fed_base.latency_md5[:12]}")
+    print(f"[bench]   on : wall={fed_live.wall_s:.2f}s "
+          f"md5={fed_live.latency_md5[:12]}")
+    if fed_live.latency_md5 != fed_base.latency_md5:
+        failures.append(
+            "ops surface changed the 2-site federation latency "
+            f"fingerprint ({fed_live.latency_md5[:12]} != "
+            f"{fed_base.latency_md5[:12]})"
+        )
+
+    for line in failures:
+        print(f"[bench] FAIL: {line}", file=sys.stderr)
+    if not failures:
+        print("[bench] ops gate: fingerprints identical, overhead within "
+              "budget")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _parse_args(argv)
     if args.faults and (args.check or args.profile):
@@ -1013,6 +1100,13 @@ def main(argv: list[str] | None = None) -> int:
         print("[bench] --migration does not combine with --faults, "
               "--profile, --parallel or --federation", file=sys.stderr)
         return 2
+    if args.ops_check:
+        if (args.check or args.profile or args.faults or args.federation
+                or args.parallel or args.migration):
+            print("[bench] --ops-check is a standalone gate; it does not "
+                  "combine with other modes", file=sys.stderr)
+            return 2
+        return _ops_check(args)
     if args.check:
         if args.migration:
             return _check_migration(args)
@@ -1053,13 +1147,14 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     report = _run_sweep(
         scales, args.seed, args.label, args.alloc_scale,
-        with_faults=args.faults,
+        with_faults=args.faults, ops=args.ops,
     )
     if args.merge_baseline is not None:
         _merge_baseline(report, args.merge_baseline)
-    if args.faults and args.output == DEFAULT_REPORT:
-        # Never let a faulted run clobber the fault-free baseline.
-        print("[bench] faulted run: pass an explicit --output to save "
+    if (args.faults or args.ops) and args.output == DEFAULT_REPORT:
+        # Never let a faulted or ops-enabled run clobber the plain
+        # baseline — their wall-clocks are not comparable to it.
+        print("[bench] faulted/ops run: pass an explicit --output to save "
               "the report (default report left untouched)")
         return 0
     args.output.write_text(json.dumps(report, indent=2) + "\n")

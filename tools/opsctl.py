@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""opsctl — query the operational REST API of a canned testbed replay.
+
+There is no long-running daemon to talk to: the testbed is a
+discrete-event simulation, so ``opsctl`` builds one (the C³ single-site
+testbed with the flow-stats collector armed), replays a short canned
+workload — register the Nginx template, issue a few client requests,
+let the collector tick — and then issues real simulated-HTTP ``GET``
+requests from a client host against the ops app on the EGS host
+(:data:`repro.ops.OPS_PORT`).  What you see is byte-for-byte what an
+in-sim consumer of the REST surface sees.
+
+Subcommands map to routes::
+
+    opsctl services     GET /services
+    opsctl instances    GET /instances
+    opsctl flows        GET /flows
+    opsctl links        GET /metrics/links
+    opsctl breakers     GET /breakers
+    opsctl migrations   GET /migrations
+    opsctl clusters     GET /clusters
+    opsctl metrics      GET /metrics
+
+``--json`` prints the raw response payload (the exact decoded document
+the API returned); the default is a terse human rendering.  Examples::
+
+    PYTHONPATH=src python tools/opsctl.py services
+    PYTHONPATH=src python tools/opsctl.py flows --json
+    PYTHONPATH=src python tools/opsctl.py links
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import typing as _t
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (_REPO_ROOT, _REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro.net.packet import HTTPRequest  # noqa: E402
+from repro.ops import OPS_PORT  # noqa: E402
+from repro.services.catalog import NGINX  # noqa: E402
+from repro.testbed import C3Testbed, TestbedConfig  # noqa: E402
+
+#: Subcommand -> API route.
+ROUTES: dict[str, str] = {
+    "services": "/services",
+    "instances": "/instances",
+    "flows": "/flows",
+    "links": "/metrics/links",
+    "breakers": "/breakers",
+    "migrations": "/migrations",
+    "clusters": "/clusters",
+    "metrics": "/metrics",
+}
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="opsctl",
+        description=__doc__.partition("\n\n")[0],
+    )
+    parser.add_argument(
+        "command", choices=sorted(ROUTES), help="API family to query"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw response payload instead of the human table",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=3,
+        metavar="N",
+        help="client requests replayed before querying (default 3)",
+    )
+    return parser.parse_args(argv)
+
+
+def build_replay(n_requests: int = 3) -> C3Testbed:
+    """The canned workload every opsctl invocation replays.
+
+    One Docker-cluster C³ testbed with the flow-stats collector polling
+    every 0.25 s; the Nginx template registered; ``n_requests`` client
+    requests (first one deploys on demand, the rest ride the installed
+    flow); a final settle long enough for several collector windows.
+    """
+    testbed = C3Testbed(
+        TestbedConfig(cluster_types=("docker",), flow_stats_period_s=0.25)
+    )
+    service = testbed.register_template(NGINX)
+    for i in range(max(1, n_requests)):
+        client = testbed.clients[i % len(testbed.clients)]
+        testbed.run_request(client, service, NGINX.request)
+    # Settle just past the next collector tick so the freshest window
+    # still covers the request burst (a longer settle would leave the
+    # last window empty and every rate at 0).
+    testbed.settle(0.3)
+    return testbed
+
+
+def query(testbed: C3Testbed, path: str) -> _t.Any:
+    """GET ``path`` from the ops app via a real simulated HTTP exchange."""
+    client = testbed.clients[-1]
+    proc = testbed.env.process(
+        client.http_request(
+            testbed.egs.ip,
+            OPS_PORT,
+            HTTPRequest("GET", path, body_bytes=0),
+        )
+    )
+    result = testbed.env.run(until=proc)
+    if result.response is None or result.response.status != 200:
+        status = None if result.response is None else result.response.status
+        raise RuntimeError(f"GET {path} failed: status={status}")
+    return result.response.payload
+
+
+def _render_rows(rows: list[dict], keys: list[str]) -> None:
+    if not rows:
+        print("  (none)")
+        return
+    for row in rows:
+        parts = [f"{k}={row[k]}" for k in keys if k in row]
+        parts += [
+            f"{k}={v}" for k, v in sorted(row.items())
+            if k not in keys and not isinstance(v, (list, dict))
+        ]
+        print("  " + "  ".join(parts))
+
+
+#: Leading columns for the human rendering of each list family.
+_LEAD_KEYS: dict[str, list[str]] = {
+    "services": ["name", "cloud_ip", "port", "template_key"],
+    "instances": ["service_name", "site", "cluster_name", "running"],
+    "flows": ["service_name", "client_ip", "cluster_name", "created_at"],
+    "links": ["site", "link", "utilization", "bits_per_s"],
+    "breakers": ["cluster", "state", "consecutive_failures"],
+    "migrations": ["service_name", "from_site", "to_site", "completed"],
+    "clusters": ["name", "distance", "capacity", "running_count"],
+}
+
+
+def render(command: str, payload: _t.Any) -> None:
+    """Human rendering: envelope header then one line per record."""
+    if isinstance(payload, dict) and "site" in payload:
+        now = payload.get("now")
+        stamp = f" t={now:.3f}s" if isinstance(now, float) else ""
+        print(f"site={payload['site']}{stamp}")
+    if command == "metrics":
+        counters = payload.get("counters", {}) if isinstance(payload, dict) else {}
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]}")
+        if isinstance(payload, dict) and "controller_stats" in payload:
+            print(f"  controller_stats = {payload['controller_stats']}")
+        return
+    family = "links" if command == "links" else command
+    rows = payload.get(family, []) if isinstance(payload, dict) else []
+    _render_rows(rows, _LEAD_KEYS.get(command, []))
+    if command == "links":
+        rates = payload.get("service_rates", [])
+        if rates:
+            print("service rates:")
+            _render_rows(
+                rates, ["site", "service_name", "packets_per_s"]
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(argv)
+    testbed = build_replay(args.requests)
+    payload = query(testbed, ROUTES[args.command])
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        render(args.command, payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
